@@ -1,0 +1,245 @@
+package repro
+
+// Benchmarks mirroring the experiment suite (DESIGN.md §2): one testing.B
+// benchmark per experiment table E1-E18, plus micro-benchmarks for the hot
+// paths (function invocation, message publish, sketch update, ephemeral
+// put/get). Experiment benchmarks execute a full deterministic simulation
+// per iteration; the interesting output is the tables themselves
+// (cmd/benchrunner prints them) — here we measure how long regenerating each
+// one takes.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faas"
+	"repro/internal/jiffy"
+	"repro/internal/orchestrate"
+	"repro/internal/sketch"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tb := e.Run()
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1CostEfficiency(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Elasticity(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3ColdStart(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkE4EphemeralState(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Isolation(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6PulsarSketch(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Orchestration(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Training(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9Stragglers(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10Matmul(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11Multiplexing(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12BinPacking(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Video(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkE14SeqCompare(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15PulsarDurability(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkE16Hyperparam(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17Inference(b *testing.B)        { benchExperiment(b, "E17") }
+func BenchmarkE18Leases(b *testing.B)           { benchExperiment(b, "E18") }
+func BenchmarkE19Security(b *testing.B)         { benchExperiment(b, "E19") }
+func BenchmarkE20SLA(b *testing.B)              { benchExperiment(b, "E20") }
+func BenchmarkE21TieredStorage(b *testing.B)    { benchExperiment(b, "E21") }
+func BenchmarkE22Provisioned(b *testing.B)      { benchExperiment(b, "E22") }
+func BenchmarkE23ORAM(b *testing.B)             { benchExperiment(b, "E23") }
+func BenchmarkE24IsolationTech(b *testing.B)    { benchExperiment(b, "E24") }
+func BenchmarkE25Evolution(b *testing.B)        { benchExperiment(b, "E25") }
+
+// --- micro-benchmarks on the real clock (data-plane hot paths) ---
+
+// BenchmarkInvokeWarm measures warm synchronous invocation overhead.
+func BenchmarkInvokeWarm(b *testing.B) {
+	p := core.New(core.Options{})
+	if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		return in, nil
+	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Invoke("noop", nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke("noop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPulsarPublish measures the publish path: broker → replicated
+// ledger append → subscription dispatch.
+func BenchmarkPulsarPublish(b *testing.B) {
+	p := core.New(core.Options{})
+	if err := p.Pulsar.CreateTopic("bench", 0); err != nil {
+		b.Fatal(err)
+	}
+	prod, err := p.Pulsar.CreateProducer("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := workload.Payload(256, 1)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prod.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJiffyPutGet measures ephemeral KV round trips (no modelled
+// latency — the raw data-plane cost).
+func BenchmarkJiffyPutGet(b *testing.B) {
+	ctrl := jiffy.NewController(core.New(core.Options{}).Clock, nil, jiffy.Config{
+		Latency: jiffy.NoLatency, DefaultLease: -1, BlockSize: 1 << 20,
+	})
+	ctrl.AddNode("n0", 64)
+	ns, err := ctrl.CreateNamespace("/bench", jiffy.NamespaceOptions{InitialBlocks: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := workload.Payload(128, 2)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%4096)
+		if err := ns.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ns.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountMinAdd measures the Figure-3 sketch's update path.
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := sketch.NewCountMinWH(272, 5)
+	keys := workload.ZipfKeys(10000, 1.2, 4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Add(keys[i%len(keys)], 1)
+	}
+}
+
+// BenchmarkAblationCountMinUpdate contrasts the standard and conservative
+// Count-Min update rules: speed here, accuracy in the companion test
+// TestConservativeTighterThanStandard — the DESIGN.md sketch-accuracy
+// ablation.
+func BenchmarkAblationCountMinUpdate(b *testing.B) {
+	keys := workload.ZipfKeys(10000, 1.2, 4096, 3)
+	b.Run("standard", func(b *testing.B) {
+		cm := sketch.NewCountMinWH(272, 5)
+		for i := 0; i < b.N; i++ {
+			cm.Add(keys[i%len(keys)], 1)
+		}
+	})
+	b.Run("conservative", func(b *testing.B) {
+		cm := sketch.NewCountMinWH(272, 5)
+		for i := 0; i < b.N; i++ {
+			cm.AddConservative(keys[i%len(keys)], 1)
+		}
+	})
+}
+
+// BenchmarkAblationShuffleStore contrasts MapReduce shuffle substrates —
+// blob store vs Jiffy — on identical word-count jobs (the E4 claim inside a
+// real workload).
+func BenchmarkAblationShuffleStore(b *testing.B) {
+	chunks := make([]string, 8)
+	for i := range chunks {
+		chunks[i] = "alpha beta gamma delta epsilon zeta eta theta " +
+			"alpha beta gamma delta"
+	}
+	job := analytics.Job{
+		Name:     "wc",
+		Reducers: 4,
+		Map:      analytics.WordCountMap,
+		Reduce:   analytics.SumReduce,
+		WorkerConfig: faas.Config{
+			ColdStart: time.Millisecond, MaxRetries: -1,
+		},
+	}
+	b.Run("blob", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, v := core.NewVirtual(core.Options{})
+			v.Run(func() {
+				if err := p.Blob.CreateBucket("shuffle", "t"); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := analytics.Run(p.FaaS, analytics.BlobShuffle{Store: p.Blob, Bucket: "shuffle"}, job, chunks); err != nil {
+					b.Error(err)
+				}
+			})
+			v.Close()
+		}
+	})
+	b.Run("jiffy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, v := core.NewVirtual(core.Options{JiffyBlockSize: 1 << 20})
+			v.Run(func() {
+				ns, err := p.Jiffy.CreateNamespace("/shuffle", jiffy.NamespaceOptions{Lease: -1, InitialBlocks: 4})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := analytics.Run(p.FaaS, analytics.JiffyShuffle{NS: ns}, job, chunks); err != nil {
+					b.Error(err)
+				}
+			})
+			v.Close()
+		}
+	})
+}
+
+// BenchmarkHLLAdd measures cardinality-sketch updates.
+func BenchmarkHLLAdd(b *testing.B) {
+	h := sketch.NewHLL(12)
+	keys := workload.UniformKeys(1<<20, 4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkOrchestratedChain measures a three-task composition end to end.
+func BenchmarkOrchestratedChain(b *testing.B) {
+	p := core.New(core.Options{})
+	for _, n := range []string{"a", "b", "c"} {
+		if err := p.Register(n, "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e := p.Orchestrator
+	sm := orchestrate.Chain(orchestrate.Task("a"), orchestrate.Task("b"), orchestrate.Task("c"))
+	// Warm all instances.
+	if _, err := e.Execute(sm, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(sm, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command benchrunner regenerates every experiment table in DESIGN.md §2
+// (E1-E25), the reproduction's counterpart to the evaluation section a
+// systems paper would carry. Each experiment runs on a fresh deterministic
+// virtual-clock platform.
+//
+// Usage:
+//
+//	benchrunner            # run every experiment
+//	benchrunner -e E4      # run one experiment
+//	benchrunner -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "", "run a single experiment by ID (e.g. E4)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	run := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+	for _, e := range run {
+		start := time.Now()
+		table := e.Run()
+		fmt.Print(table)
+		fmt.Printf("(%s took %v real)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,190 @@
+package analytics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/faas"
+	"repro/internal/jiffy"
+	"repro/internal/simclock"
+)
+
+func TestWordCountMap(t *testing.T) {
+	kvs := WordCountMap("Hello, hello world! 42")
+	if len(kvs) != 4 {
+		t.Fatalf("kvs = %v", kvs)
+	}
+	if kvs[0].K != "hello" || kvs[1].K != "hello" || kvs[2].K != "world" || kvs[3].K != "42" {
+		t.Fatalf("kvs = %v", kvs)
+	}
+}
+
+func TestSumReduce(t *testing.T) {
+	if got := SumReduce("k", []string{"1", "2", "3"}); got != "6" {
+		t.Fatalf("sum = %s", got)
+	}
+}
+
+func wordCountJob(reducers int) Job {
+	return Job{
+		Name:     "wc",
+		Reducers: reducers,
+		Map:      WordCountMap,
+		Reduce:   SumReduce,
+		WorkerConfig: faas.Config{
+			ColdStart:  time.Millisecond,
+			MaxRetries: -1,
+		},
+	}
+}
+
+func TestWordCountOnBlobShuffle(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	chunks := []string{
+		"the quick brown fox",
+		"the lazy dog and the quick cat",
+		"fox and dog",
+	}
+	var result map[string]string
+	v.Run(func() {
+		if err := store.CreateBucket("shuffle", "t"); err != nil {
+			t.Error(err)
+			return
+		}
+		var err error
+		result, err = Run(p, BlobShuffle{Store: store, Bucket: "shuffle"}, wordCountJob(3), chunks)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	want := map[string]string{"the": "3", "quick": "2", "fox": "2", "dog": "2", "and": "2", "brown": "1", "lazy": "1", "cat": "1"}
+	for k, w := range want {
+		if result[k] != w {
+			t.Fatalf("count[%s] = %s, want %s (all: %v)", k, result[k], w, result)
+		}
+	}
+}
+
+func TestWordCountOnJiffyShuffle(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	ctrl := jiffy.NewController(v, nil, jiffy.Config{Latency: jiffy.NoLatency})
+	ctrl.AddNode("n0", 32)
+	var result map[string]string
+	v.Run(func() {
+		ns, err := ctrl.CreateNamespace("/wc", jiffy.NamespaceOptions{Lease: -1, InitialBlocks: 4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		result, err = Run(p, JiffyShuffle{NS: ns}, wordCountJob(2), []string{"a b a", "b a"})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if result["a"] != "3" || result["b"] != "2" {
+		t.Fatalf("result = %v", result)
+	}
+}
+
+func TestMapReduceMatchesSerialBaseline(t *testing.T) {
+	// A larger randomized corpus: distributed result must equal the serial
+	// single-node count exactly.
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	store := blob.New(v, nil, blob.LatencyModel{})
+
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	var chunks []string
+	serial := map[string]int{}
+	for c := 0; c < 8; c++ {
+		var sb strings.Builder
+		for i := 0; i < 50; i++ {
+			w := words[(c*50+i*7)%len(words)]
+			sb.WriteString(w + " ")
+			serial[w]++
+		}
+		chunks = append(chunks, sb.String())
+	}
+	var result map[string]string
+	v.Run(func() {
+		if err := store.CreateBucket("shuffle", "t"); err != nil {
+			t.Error(err)
+			return
+		}
+		var err error
+		result, err = Run(p, BlobShuffle{Store: store, Bucket: "shuffle"}, wordCountJob(4), chunks)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if len(result) != len(serial) {
+		t.Fatalf("distinct words %d, want %d", len(result), len(serial))
+	}
+	for w, n := range serial {
+		if result[w] != fmt.Sprint(n) {
+			t.Fatalf("count[%s] = %s, want %d", w, result[w], n)
+		}
+	}
+}
+
+func TestJobFailurePropagates(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	job := Job{
+		Name:         "boom",
+		Reducers:     1,
+		Map:          func(string) []KV { return nil },
+		Reduce:       SumReduce,
+		WorkerConfig: faas.Config{ColdStart: time.Millisecond, MaxRetries: -1},
+	}
+	v.Run(func() {
+		// No bucket created: mapper Puts fail, Run must surface the error.
+		if _, err := Run(p, BlobShuffle{Store: store, Bucket: "missing"}, job, []string{"x"}); err == nil {
+			t.Error("expected failure, got nil")
+		}
+	})
+}
+
+func TestMapPhaseRunsInParallel(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	slowMap := func(chunk string) []KV { return []KV{{K: "k", V: "1"}} }
+	job := Job{
+		Name:         "slow",
+		Reducers:     1,
+		Map:          slowMap,
+		Reduce:       SumReduce,
+		WorkerConfig: faas.Config{ColdStart: time.Millisecond, MaxRetries: -1},
+	}
+	// Give mappers 100ms of modelled work via the shuffle store latency.
+	slowStore := blob.New(v, nil, blob.LatencyModel{PerOp: 100 * time.Millisecond})
+	_ = store
+	end := v.Run(func() {
+		if err := slowStore.CreateBucket("shuffle", "t"); err != nil {
+			t.Error(err)
+			return
+		}
+		chunks := make([]string, 8)
+		if _, err := Run(p, BlobShuffle{Store: slowStore, Bucket: "shuffle"}, job, chunks); err != nil {
+			t.Error(err)
+		}
+	})
+	// 8 mappers × 100ms store put + reducer reads (8 × 100ms sequential)
+	// ≈ 0.1 + 0.8 + small; serial mapping would add ≥0.8 more.
+	if el := end.Sub(simclock.Epoch); el > 1500*time.Millisecond {
+		t.Fatalf("map phase appears serialized: %v", el)
+	}
+}

@@ -1,0 +1,170 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBilledDurationRoundsUp(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{-time.Second, 100 * time.Millisecond},
+		{1 * time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 100 * time.Millisecond},
+		{101 * time.Millisecond, 200 * time.Millisecond},
+		{250 * time.Millisecond, 300 * time.Millisecond},
+		{time.Second, time.Second},
+	}
+	for _, c := range cases {
+		if got := BilledDuration(c.in); got != c.want {
+			t.Errorf("BilledDuration(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBilledDurationProperties(t *testing.T) {
+	// Property: billed ≥ actual, billed is a positive multiple of the
+	// granularity, and overshoot is < one granule.
+	f := func(ms uint16) bool {
+		d := time.Duration(ms) * time.Millisecond
+		b := BilledDuration(d)
+		if b < d || b <= 0 {
+			return false
+		}
+		if b%BillingGranularity != 0 {
+			return false
+		}
+		return b-d < BillingGranularity || d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddInvocationGBSeconds(t *testing.T) {
+	m := NewMeter()
+	// 1 second at 1024 MB = exactly 1 GB-second.
+	m.AddInvocation("acme", time.Second, 1024, time.Time{})
+	if got := m.Units("acme", ResInvocationGBs); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("GB-seconds = %v, want 1", got)
+	}
+	if got := m.Units("acme", ResInvocationReqs); got != 1 {
+		t.Fatalf("requests = %v, want 1", got)
+	}
+	// 50 ms at 512 MB bills as 100 ms × 0.5 GB = 0.05 GB-s.
+	m.AddInvocation("acme", 50*time.Millisecond, 512, time.Time{})
+	if got := m.Units("acme", ResInvocationGBs); math.Abs(got-1.05) > 1e-9 {
+		t.Fatalf("GB-seconds = %v, want 1.05", got)
+	}
+}
+
+func TestInvoiceTotalsAndOrdering(t *testing.T) {
+	m := NewMeter()
+	m.Add(Record{Tenant: "t", Resource: ResBlobPut, Units: 1000})
+	m.Add(Record{Tenant: "t", Resource: ResBlobGet, Units: 5000})
+	p := Pricing{ResBlobGet: 0.001, ResBlobPut: 0.01}
+	inv := m.Invoice("t", p)
+	if len(inv.Lines) != 2 {
+		t.Fatalf("lines = %d", len(inv.Lines))
+	}
+	if inv.Lines[0].Resource != ResBlobGet {
+		t.Fatalf("lines not sorted: %v", inv.Lines[0].Resource)
+	}
+	want := 5000*0.001 + 1000*0.01
+	if math.Abs(inv.Total-want) > 1e-9 {
+		t.Fatalf("total = %v, want %v", inv.Total, want)
+	}
+	if s := inv.String(); s == "" {
+		t.Fatal("empty invoice rendering")
+	}
+}
+
+func TestZeroUnitRecordsDropped(t *testing.T) {
+	m := NewMeter()
+	m.Add(Record{Tenant: "t", Resource: "x", Units: 0})
+	if len(m.Records()) != 0 {
+		t.Fatal("zero-unit record retained")
+	}
+}
+
+func TestTenantsSorted(t *testing.T) {
+	m := NewMeter()
+	m.Add(Record{Tenant: "zeta", Resource: "r", Units: 1})
+	m.Add(Record{Tenant: "acme", Resource: "r", Units: 1})
+	got := m.Tenants()
+	if len(got) != 2 || got[0] != "acme" || got[1] != "zeta" {
+		t.Fatalf("Tenants = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter()
+	m.Add(Record{Tenant: "t", Resource: "r", Units: 5})
+	m.Reset()
+	if m.Units("t", "r") != 0 || len(m.Records()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestReservedCost(t *testing.T) {
+	p := Pricing{ResVMHours: 0.10}
+	if got := ReservedCost(3, 10*time.Hour, p); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("ReservedCost = %v, want 3.0", got)
+	}
+	// Partial hours bill as full hours.
+	if got := ReservedCost(1, 90*time.Minute, p); math.Abs(got-0.20) > 1e-9 {
+		t.Fatalf("ReservedCost(90m) = %v, want 0.20", got)
+	}
+	if got := ReservedCost(1, time.Minute, p); math.Abs(got-0.10) > 1e-9 {
+		t.Fatalf("ReservedCost(1m) = %v, want 0.10", got)
+	}
+}
+
+func TestVMsForPeak(t *testing.T) {
+	if got := VMsForPeak(1000, 100); got != 10 {
+		t.Fatalf("VMsForPeak = %d, want 10", got)
+	}
+	if got := VMsForPeak(101, 100); got != 2 {
+		t.Fatalf("VMsForPeak = %d, want 2 (ceil)", got)
+	}
+	if got := VMsForPeak(0, 100); got != 0 {
+		t.Fatalf("VMsForPeak(0) = %d", got)
+	}
+}
+
+func TestDefaultPricingCoversCanonicalResources(t *testing.T) {
+	p := DefaultPricing()
+	for _, r := range []string{
+		ResInvocationGBs, ResInvocationReqs, ResBlobStorageGBh, ResBlobGet,
+		ResBlobPut, ResBlobBytesOut, ResQueueReqs, ResDBReadUnits,
+		ResDBWriteUnits, ResVMHours, ResMsgPublish, ResJiffyBlockSecs,
+	} {
+		if p[r] <= 0 {
+			t.Errorf("no price for %s", r)
+		}
+	}
+}
+
+func TestMeterConcurrentAdds(t *testing.T) {
+	m := NewMeter()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				m.Add(Record{Tenant: "t", Resource: "r", Units: 1})
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := m.Units("t", "r"); got != 8000 {
+		t.Fatalf("Units = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,158 @@
+package bioseq
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/simclock"
+)
+
+func TestSmithWatermanKnownValues(t *testing.T) {
+	s := DefaultScoring()
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ACACACTA", "AGCACACA", 12}, // classic SW example with +2/-1/-1
+		{"AAAA", "AAAA", 8},
+		{"AAAA", "CCCC", 0}, // no positive local alignment
+		{"", "ACGT", 0},
+		{"A", "A", 2},
+	}
+	for _, c := range cases {
+		if got := SmithWaterman(c.a, c.b, s); got != c.want {
+			t.Errorf("SW(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSmithWatermanProperties(t *testing.T) {
+	s := DefaultScoring()
+	// Symmetry and self-alignment maximality.
+	f := func(seedA, seedB int8) bool {
+		a := RandomProtein(20+int(seedA&15), int64(seedA))
+		b := RandomProtein(20+int(seedB&15), int64(seedB))
+		if SmithWaterman(a, b, s) != SmithWaterman(b, a, s) {
+			return false
+		}
+		// Self alignment = 2·len (full match).
+		if SmithWaterman(a, a, s) != 2*len(a) {
+			return false
+		}
+		// Score against any other sequence can't beat self-alignment of
+		// the shorter sequence.
+		max := 2 * len(a)
+		if len(b) < len(a) {
+			max = 2 * len(b)
+		}
+		return SmithWaterman(a, b, s) <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomProteinsAlphabetAndDeterminism(t *testing.T) {
+	seqs := RandomProteins(10, 30, 60, 9)
+	if len(seqs) != 10 {
+		t.Fatalf("count = %d", len(seqs))
+	}
+	for _, s := range seqs {
+		if len(s) < 30 || len(s) > 60 {
+			t.Fatalf("length %d out of range", len(s))
+		}
+		for _, c := range s {
+			ok := false
+			for _, a := range aminoAcids {
+				if c == a {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("invalid residue %c", c)
+			}
+		}
+	}
+	seqs2 := RandomProteins(10, 30, 60, 9)
+	for i := range seqs {
+		if seqs[i] != seqs2[i] {
+			t.Fatal("RandomProteins nondeterministic")
+		}
+	}
+}
+
+func TestAllPairsEnumeration(t *testing.T) {
+	pairs := AllPairs(4)
+	if len(pairs) != 6 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+}
+
+func TestServerlessMatchesSerial(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	seqs := RandomProteins(8, 40, 80, 11)
+	want := AllPairsSerial(seqs, DefaultScoring())
+	var got map[Pair]int
+	v.Run(func() {
+		var err error
+		got, err = AllPairsServerless(p, seqs, DefaultScoring(), ServerlessConfig{Workers: 4})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d scores, want %d", len(got), len(want))
+	}
+	for pr, w := range want {
+		if got[pr] != w {
+			t.Fatalf("score%v = %d, want %d", pr, got[pr], w)
+		}
+	}
+}
+
+func TestServerlessScalesNearLinearly(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	seqs := RandomProteins(12, 50, 50, 12)
+	perCell := 10 * time.Microsecond // compute-bound regime: work ≫ cold start
+	walls := map[int]time.Duration{}
+	v.Run(func() {
+		for _, w := range []int{1, 4} {
+			start := v.Now()
+			if _, err := AllPairsServerless(p, seqs, DefaultScoring(), ServerlessConfig{
+				Workers: w, WorkPerCell: perCell,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			walls[w] = v.Now().Sub(start)
+		}
+	})
+	speedup := float64(walls[1]) / float64(walls[4])
+	if speedup < 3 {
+		t.Fatalf("4-worker speedup %.2f < 3 (w1=%v w4=%v)", speedup, walls[1], walls[4])
+	}
+}
+
+func TestServerlessInputValidation(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	p := faas.New(v, nil)
+	v.Run(func() {
+		if _, err := AllPairsServerless(p, []string{"A"}, DefaultScoring(), ServerlessConfig{}); !errors.Is(err, ErrBadInput) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,469 @@
+// Package coord implements the ZooKeeper-style coordination service that the
+// messaging layer (Figure 1 of the paper) depends on for configuration
+// management, topic ownership and ledger metadata.
+//
+// It provides a hierarchical namespace of versioned nodes ("znodes") with
+// persistent, ephemeral and sequential creation modes, one-shot watches, and
+// session-scoped liveness: when a session closes or its lease expires, every
+// ephemeral node it created is removed and the relevant watches fire. The
+// store is linearizable by construction (a single mutex orders all
+// operations).
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Errors returned by Store operations.
+var (
+	ErrNoNode      = errors.New("coord: node does not exist")
+	ErrNodeExists  = errors.New("coord: node already exists")
+	ErrBadVersion  = errors.New("coord: version mismatch")
+	ErrNotEmpty    = errors.New("coord: node has children")
+	ErrNoSession   = errors.New("coord: session expired or closed")
+	ErrBadPath     = errors.New("coord: malformed path")
+	ErrEphChildren = errors.New("coord: ephemeral nodes cannot have children")
+)
+
+// Mode selects the lifetime of a created node.
+type Mode int
+
+const (
+	// Persistent nodes live until explicitly deleted.
+	Persistent Mode = iota
+	// Ephemeral nodes are deleted automatically when their creating
+	// session closes or expires.
+	Ephemeral
+)
+
+// EventType describes what happened to a watched node.
+type EventType int
+
+const (
+	// EventCreated fires when a watched-for node is created.
+	EventCreated EventType = iota
+	// EventDataChanged fires when a node's data is overwritten.
+	EventDataChanged
+	// EventDeleted fires when a node is deleted.
+	EventDeleted
+	// EventChildrenChanged fires when a node gains or loses a child.
+	EventChildrenChanged
+)
+
+// Event is delivered on watch channels.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Stat carries a node's metadata.
+type Stat struct {
+	Version        int64 // bumped on every Set
+	CreatedAt      time.Time
+	ModifiedAt     time.Time
+	EphemeralOwner SessionID // zero for persistent nodes
+	NumChildren    int
+}
+
+// SessionID identifies a client session. The zero value means "no session".
+type SessionID int64
+
+// AnyVersion disables the compare-and-set check in Set and Delete.
+const AnyVersion int64 = -1
+
+type node struct {
+	data     []byte
+	stat     Stat
+	children map[string]*node
+	seq      int64 // counter for sequential children
+
+	dataWatch  []chan Event
+	childWatch []chan Event
+}
+
+type session struct {
+	id         SessionID
+	ttl        time.Duration
+	expiresAt  time.Time
+	closed     bool
+	ephemerals map[string]struct{}
+}
+
+// Store is an in-process coordination service instance.
+type Store struct {
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	root     *node
+	sessions map[SessionID]*session
+	nextSess SessionID
+}
+
+// NewStore creates an empty Store on the given clock.
+func NewStore(clock simclock.Clock) *Store {
+	return &Store{
+		clock:    clock,
+		root:     &node{children: map[string]*node{}},
+		sessions: map[SessionID]*session{},
+	}
+}
+
+// NewSession opens a session with the given lease TTL. A TTL of zero means
+// the session never expires on its own (it must be closed explicitly).
+func (s *Store) NewSession(ttl time.Duration) SessionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &session{
+		id:         s.nextSess,
+		ttl:        ttl,
+		ephemerals: map[string]struct{}{},
+	}
+	if ttl > 0 {
+		sess.expiresAt = s.clock.Now().Add(ttl)
+	}
+	s.sessions[sess.id] = sess
+	return sess.id
+}
+
+// KeepAlive renews a session's lease. It returns ErrNoSession if the session
+// has already expired or been closed.
+func (s *Store) KeepAlive(id SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	sess, ok := s.sessions[id]
+	if !ok || sess.closed {
+		return ErrNoSession
+	}
+	if sess.ttl > 0 {
+		sess.expiresAt = s.clock.Now().Add(sess.ttl)
+	}
+	return nil
+}
+
+// CloseSession ends a session, deleting its ephemeral nodes.
+func (s *Store) CloseSession(id SessionID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return
+	}
+	s.endSessionLocked(sess)
+}
+
+// SessionAlive reports whether the session is open and unexpired.
+func (s *Store) SessionAlive(id SessionID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	sess, ok := s.sessions[id]
+	return ok && !sess.closed
+}
+
+// Create makes a new node at path with the given data. Parent nodes must
+// already exist. For Ephemeral mode, owner must be a live session.
+func (s *Store) Create(path string, data []byte, mode Mode, owner SessionID) error {
+	_, err := s.create(path, data, mode, owner, false)
+	return err
+}
+
+// CreateSequential creates a node whose final path component is path's last
+// component suffixed with a monotonically increasing, zero-padded counter
+// scoped to the parent (ZooKeeper's sequential nodes). It returns the actual
+// path created.
+func (s *Store) CreateSequential(path string, data []byte, mode Mode, owner SessionID) (string, error) {
+	return s.create(path, data, mode, owner, true)
+}
+
+func (s *Store) create(path string, data []byte, mode Mode, owner SessionID, sequential bool) (string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+
+	var sess *session
+	if mode == Ephemeral {
+		var ok bool
+		sess, ok = s.sessions[owner]
+		if !ok || sess.closed {
+			return "", ErrNoSession
+		}
+	}
+
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return "", fmt.Errorf("%w: missing parent %q in %q", ErrNoNode, p, path)
+		}
+		parent = child
+	}
+	if parent != s.root && parent.stat.EphemeralOwner != 0 {
+		return "", ErrEphChildren
+	}
+	name := parts[len(parts)-1]
+	if sequential {
+		name = fmt.Sprintf("%s%010d", name, parent.seq)
+		parent.seq++
+		path = "/" + strings.Join(append(append([]string{}, parts[:len(parts)-1]...), name), "/")
+	}
+	if _, ok := parent.children[name]; ok {
+		return "", fmt.Errorf("%w: %q", ErrNodeExists, path)
+	}
+	now := s.clock.Now()
+	n := &node{
+		data:     append([]byte(nil), data...),
+		children: map[string]*node{},
+		stat:     Stat{CreatedAt: now, ModifiedAt: now},
+	}
+	if mode == Ephemeral {
+		n.stat.EphemeralOwner = owner
+		sess.ephemerals[path] = struct{}{}
+	}
+	parent.children[name] = n
+	parent.stat.NumChildren = len(parent.children)
+	s.fireLocked(&parent.childWatch, Event{Type: EventChildrenChanged, Path: parentPath(path)})
+	return path, nil
+}
+
+// Get returns a node's data and metadata.
+func (s *Store) Get(path string) ([]byte, Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	n, err := s.lookupLocked(path)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	st := n.stat
+	st.NumChildren = len(n.children)
+	return append([]byte(nil), n.data...), st, nil
+}
+
+// Exists reports whether a node exists at path.
+func (s *Store) Exists(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	_, err := s.lookupLocked(path)
+	return err == nil
+}
+
+// Set overwrites a node's data if version matches (or is AnyVersion).
+func (s *Store) Set(path string, data []byte, version int64) (Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	n, err := s.lookupLocked(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	if version != AnyVersion && version != n.stat.Version {
+		return Stat{}, fmt.Errorf("%w: have %d, want %d", ErrBadVersion, n.stat.Version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.stat.Version++
+	n.stat.ModifiedAt = s.clock.Now()
+	s.fireLocked(&n.dataWatch, Event{Type: EventDataChanged, Path: path})
+	return n.stat, nil
+}
+
+// Delete removes a node if it has no children and version matches.
+func (s *Store) Delete(path string, version int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	return s.deleteLocked(path, version, true)
+}
+
+// Children returns the sorted names of a node's children.
+func (s *Store) Children(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	n, err := s.lookupLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// WatchData registers a one-shot watch that fires when the node's data
+// changes or the node is deleted. The returned channel has capacity 1 and is
+// used at most once.
+func (s *Store) WatchData(path string) (<-chan Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	n, err := s.lookupLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Event, 1)
+	n.dataWatch = append(n.dataWatch, ch)
+	return ch, nil
+}
+
+// WatchChildren registers a one-shot watch that fires when the node's child
+// set changes.
+func (s *Store) WatchChildren(path string) (<-chan Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	n, err := s.lookupLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Event, 1)
+	n.childWatch = append(n.childWatch, ch)
+	return ch, nil
+}
+
+// EnsurePath creates every missing component of path as a persistent node
+// with empty data (a convenience ZooKeeper clients typically implement
+// themselves).
+func (s *Store) EnsurePath(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	for i := range parts {
+		p := "/" + strings.Join(parts[:i+1], "/")
+		if err := s.Create(p, nil, Persistent, 0); err != nil && !errors.Is(err, ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- internals ---
+
+func (s *Store) lookupLocked(path string) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoNode, path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+func (s *Store) deleteLocked(path string, version int64, checkChildren bool) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoNode, path)
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	if checkChildren && len(n.children) > 0 {
+		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
+	}
+	if version != AnyVersion && version != n.stat.Version {
+		return fmt.Errorf("%w: have %d, want %d", ErrBadVersion, n.stat.Version, version)
+	}
+	delete(parent.children, name)
+	parent.stat.NumChildren = len(parent.children)
+	if n.stat.EphemeralOwner != 0 {
+		if sess, ok := s.sessions[n.stat.EphemeralOwner]; ok {
+			delete(sess.ephemerals, path)
+		}
+	}
+	s.fireLocked(&n.dataWatch, Event{Type: EventDeleted, Path: path})
+	s.fireLocked(&parent.childWatch, Event{Type: EventChildrenChanged, Path: parentPath(path)})
+	return nil
+}
+
+// reapLocked lazily expires sessions whose leases have lapsed.
+func (s *Store) reapLocked() {
+	now := s.clock.Now()
+	for _, sess := range s.sessions {
+		if sess.closed || sess.ttl == 0 {
+			continue
+		}
+		if now.After(sess.expiresAt) {
+			s.endSessionLocked(sess)
+		}
+	}
+}
+
+func (s *Store) endSessionLocked(sess *session) {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	paths := make([]string, 0, len(sess.ephemerals))
+	for p := range sess.ephemerals {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		_ = s.deleteLocked(p, AnyVersion, false)
+	}
+	delete(s.sessions, sess.id)
+}
+
+// fireLocked delivers ev to every registered one-shot watch and clears the list.
+func (s *Store) fireLocked(watches *[]chan Event, ev Event) {
+	for _, ch := range *watches {
+		ch <- ev // capacity 1, used once: never blocks
+	}
+	*watches = nil
+}
+
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") || path == "/" {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	if path != "/"+strings.Join(parts, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	return parts, nil
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}

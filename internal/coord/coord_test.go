@@ -1,0 +1,294 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func newStore() *Store { return NewStore(simclock.Real{}) }
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := newStore()
+	if err := s.Create("/a", []byte("one"), Persistent, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := s.Get("/a")
+	if err != nil || string(data) != "one" || st.Version != 0 {
+		t.Fatalf("Get = %q v%d err %v", data, st.Version, err)
+	}
+	if _, err := s.Set("/a", []byte("two"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, st, _ = s.Get("/a")
+	if string(data) != "two" || st.Version != 1 {
+		t.Fatalf("after Set: %q v%d", data, st.Version)
+	}
+	if err := s.Delete("/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("/a") {
+		t.Fatal("node survived Delete")
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	s := newStore()
+	if err := s.Create("/a/b", nil, Persistent, 0); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v, want ErrNoNode", err)
+	}
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists("/a/b/c") {
+		t.Fatal("EnsurePath did not create the chain")
+	}
+	// EnsurePath must be idempotent.
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/a", nil, Persistent, 0))
+	if err := s.Create("/a", nil, Persistent, 0); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("err = %v, want ErrNodeExists", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := newStore()
+	for _, p := range []string{"", "/", "a", "/a//b", "//"} {
+		if err := s.Create(p, nil, Persistent, 0); !errors.Is(err, ErrBadPath) {
+			t.Fatalf("Create(%q) err = %v, want ErrBadPath", p, err)
+		}
+	}
+}
+
+func TestVersionedSetAndDelete(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/v", []byte("x"), Persistent, 0))
+	if _, err := s.Set("/v", []byte("y"), 99); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale Set err = %v", err)
+	}
+	if _, err := s.Set("/v", []byte("y"), AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/v", 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale Delete err = %v", err)
+	}
+	if err := s.Delete("/v", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteNonEmpty(t *testing.T) {
+	s := newStore()
+	must(t, s.EnsurePath("/p/c"))
+	if err := s.Delete("/p", AnyVersion); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("err = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/p", nil, Persistent, 0))
+	for _, c := range []string{"zeta", "alpha", "mid"} {
+		must(t, s.Create("/p/"+c, nil, Persistent, 0))
+	}
+	kids, err := s.Children("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("Children = %v, want %v", kids, want)
+		}
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/q", nil, Persistent, 0))
+	p1, err := s.CreateSequential("/q/item-", nil, Persistent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.CreateSequential("/q/item-", nil, Persistent, 0)
+	if p1 != "/q/item-0000000000" || p2 != "/q/item-0000000001" {
+		t.Fatalf("sequential paths = %q, %q", p1, p2)
+	}
+}
+
+func TestEphemeralDeletedOnClose(t *testing.T) {
+	s := newStore()
+	sess := s.NewSession(0)
+	must(t, s.Create("/e", []byte("owner"), Ephemeral, sess))
+	if !s.Exists("/e") {
+		t.Fatal("ephemeral missing")
+	}
+	s.CloseSession(sess)
+	if s.Exists("/e") {
+		t.Fatal("ephemeral survived session close")
+	}
+}
+
+func TestEphemeralRequiresSession(t *testing.T) {
+	s := newStore()
+	if err := s.Create("/e", nil, Ephemeral, 42); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("err = %v, want ErrNoSession", err)
+	}
+}
+
+func TestEphemeralNoChildren(t *testing.T) {
+	s := newStore()
+	sess := s.NewSession(0)
+	must(t, s.Create("/e", nil, Ephemeral, sess))
+	if err := s.Create("/e/kid", nil, Persistent, 0); !errors.Is(err, ErrEphChildren) {
+		t.Fatalf("err = %v, want ErrEphChildren", err)
+	}
+}
+
+func TestSessionExpiryOnVirtualClock(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	s := NewStore(v)
+	v.Run(func() {
+		sess := s.NewSession(10 * time.Second)
+		must(t, s.Create("/lease", nil, Ephemeral, sess))
+		v.Sleep(5 * time.Second)
+		if !s.Exists("/lease") {
+			t.Error("ephemeral vanished before lease expiry")
+		}
+		if err := s.KeepAlive(sess); err != nil {
+			t.Error(err)
+		}
+		v.Sleep(8 * time.Second) // renewed at t=5s; still alive at t=13s
+		if !s.Exists("/lease") {
+			t.Error("keepalive did not renew lease")
+		}
+		v.Sleep(10 * time.Second) // now past renewal+ttl
+		if s.Exists("/lease") {
+			t.Error("ephemeral survived lease expiry")
+		}
+		if s.SessionAlive(sess) {
+			t.Error("session alive after expiry")
+		}
+		if err := s.KeepAlive(sess); !errors.Is(err, ErrNoSession) {
+			t.Errorf("KeepAlive on dead session = %v", err)
+		}
+	})
+}
+
+func TestWatchData(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/w", []byte("a"), Persistent, 0))
+	ch, err := s.WatchData("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Set("/w", []byte("b"), AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	if ev.Type != EventDataChanged || ev.Path != "/w" {
+		t.Fatalf("event = %+v", ev)
+	}
+	// One-shot: second Set must not panic or deliver again.
+	if _, err := s.Set("/w", []byte("c"), AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("one-shot watch fired twice: %+v", ev)
+	default:
+	}
+}
+
+func TestWatchDelete(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/w", nil, Persistent, 0))
+	ch, _ := s.WatchData("/w")
+	must(t, s.Delete("/w", AnyVersion))
+	if ev := <-ch; ev.Type != EventDeleted {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestWatchChildren(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/p", nil, Persistent, 0))
+	ch, _ := s.WatchChildren("/p")
+	must(t, s.Create("/p/kid", nil, Persistent, 0))
+	if ev := <-ch; ev.Type != EventChildrenChanged || ev.Path != "/p" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestWatchFiresOnSessionExpiry(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	s := NewStore(v)
+	v.Run(func() {
+		sess := s.NewSession(time.Second)
+		must(t, s.Create("/owner", nil, Ephemeral, sess))
+		ch, err := s.WatchData("/owner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Sleep(2 * time.Second)
+		s.Exists("/owner") // trigger lazy reap
+		select {
+		case ev := <-ch:
+			if ev.Type != EventDeleted {
+				t.Errorf("event = %+v", ev)
+			}
+		default:
+			t.Error("no delete event after session expiry")
+		}
+	})
+}
+
+func TestTryAcquireRelease(t *testing.T) {
+	s := newStore()
+	a, b := s.NewSession(0), s.NewSession(0)
+	ok, err := s.TryAcquire("/lock", []byte("a"), a)
+	if err != nil || !ok {
+		t.Fatalf("first acquire: ok=%v err=%v", ok, err)
+	}
+	ok, err = s.TryAcquire("/lock", []byte("b"), b)
+	if err != nil || ok {
+		t.Fatalf("second acquire should fail: ok=%v err=%v", ok, err)
+	}
+	holder, held := s.LockHolder("/lock")
+	if !held || string(holder) != "a" {
+		t.Fatalf("holder = %q %v", holder, held)
+	}
+	s.CloseSession(a)
+	ok, _ = s.TryAcquire("/lock", []byte("b"), b)
+	if !ok {
+		t.Fatal("lock not released by session close")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newStore()
+	must(t, s.Create("/c", []byte("abc"), Persistent, 0))
+	data, _, _ := s.Get("/c")
+	data[0] = 'X'
+	data2, _, _ := s.Get("/c")
+	if string(data2) != "abc" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

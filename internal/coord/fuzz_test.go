@@ -1,0 +1,36 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// FuzzPathHandling throws arbitrary paths at the store: no input may panic,
+// and any path that Create accepts must round-trip through Get and Delete.
+func FuzzPathHandling(f *testing.F) {
+	for _, seed := range []string{"/a", "/a/b", "//", "/", "", "a", "/a//b", "/a b", "/ù", "/a/b/c/d/e"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		s := NewStore(simclock.Real{})
+		// Parents first, best-effort.
+		if strings.HasPrefix(path, "/") {
+			parts := strings.Split(strings.Trim(path, "/"), "/")
+			for i := 1; i < len(parts); i++ {
+				_ = s.Create("/"+strings.Join(parts[:i], "/"), nil, Persistent, 0)
+			}
+		}
+		if err := s.Create(path, []byte("x"), Persistent, 0); err != nil {
+			return // rejected inputs just must not panic
+		}
+		data, _, err := s.Get(path)
+		if err != nil || string(data) != "x" {
+			t.Fatalf("accepted path %q does not round-trip: %q %v", path, data, err)
+		}
+		if err := s.Delete(path, AnyVersion); err != nil {
+			t.Fatalf("accepted path %q cannot be deleted: %v", path, err)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package core assembles the full serverless stack the paper deconstructs
+// into one handle: the FaaS platform (§2, §4.1), the BaaS substrates — blob
+// storage, transactional database, queues/notifications (§2.2, §4.1) — the
+// orchestration engine (§4.2), the Pulsar messaging cluster with Pulsar
+// Functions (§4.3), and the Jiffy ephemeral-state store (§4.4), all sharing
+// one clock and one billing meter.
+//
+// This is the public API examples and experiments build on; the individual
+// subsystem packages stay usable on their own.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/blob"
+	"repro/internal/coord"
+	"repro/internal/faas"
+	"repro/internal/jiffy"
+	"repro/internal/kvdb"
+	"repro/internal/ledger"
+	"repro/internal/orchestrate"
+	"repro/internal/pulsar"
+	"repro/internal/queue"
+	"repro/internal/simclock"
+)
+
+// Options configures a Platform. The zero value is a sensible deployment:
+// real clock, 2 brokers, 3 bookies, 4 Jiffy memory nodes of 256 blocks.
+type Options struct {
+	// Clock drives every subsystem. Default: the real clock. Use
+	// simclock.NewVirtual() for deterministic experiments.
+	Clock simclock.Clock
+	// Brokers is the Pulsar broker count. Default 2.
+	Brokers int
+	// Bookies is the ledger storage node count. Default 3.
+	Bookies int
+	// JiffyNodes and BlocksPerNode size the ephemeral memory pool.
+	// Defaults 4 and 256.
+	JiffyNodes    int
+	BlocksPerNode int
+	// JiffyBlockSize is bytes per block. Default 64 KiB.
+	JiffyBlockSize int
+	// BlobLatency models blob store access. Default blob.S3Latency.
+	BlobLatency blob.LatencyModel
+	// JiffyLatency models ephemeral access. Default jiffy.MemoryLatency.
+	JiffyLatency jiffy.LatencyModel
+	// Pricing converts metered usage to dollars. Default
+	// billing.DefaultPricing().
+	Pricing billing.Pricing
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = simclock.Real{}
+	}
+	if o.Brokers <= 0 {
+		o.Brokers = 2
+	}
+	if o.Bookies <= 0 {
+		o.Bookies = 3
+	}
+	if o.JiffyNodes <= 0 {
+		o.JiffyNodes = 4
+	}
+	if o.BlocksPerNode <= 0 {
+		o.BlocksPerNode = 256
+	}
+	if o.JiffyBlockSize <= 0 {
+		o.JiffyBlockSize = 64 << 10
+	}
+	if o.BlobLatency == (blob.LatencyModel{}) {
+		o.BlobLatency = blob.S3Latency
+	}
+	if o.JiffyLatency == (jiffy.LatencyModel{}) {
+		o.JiffyLatency = jiffy.MemoryLatency
+	}
+	if o.Pricing == nil {
+		o.Pricing = billing.DefaultPricing()
+	}
+	return o
+}
+
+// Platform is one serverless deployment: every subsystem on a shared clock
+// and meter.
+type Platform struct {
+	Clock   simclock.Clock
+	Meter   *billing.Meter
+	Pricing billing.Pricing
+
+	// FaaS is the function platform (§4.1).
+	FaaS *faas.Platform
+	// Blob is the S3-style object store (§2.2).
+	Blob *blob.Store
+	// Queue is the SQS/SNS-style messaging BaaS (§3.1).
+	Queue *queue.Service
+	// DB is the transactional serverless database (§4.1).
+	DB *kvdb.DB
+	// Coord is the ZooKeeper-style coordination service (§4.3, Fig. 1).
+	Coord *coord.Store
+	// Ledgers is the BookKeeper-style durable log layer (§4.3, Fig. 1).
+	Ledgers *ledger.System
+	// Pulsar is the messaging cluster with Pulsar Functions (§4.3).
+	Pulsar *pulsar.Cluster
+	// Jiffy is the ephemeral-state store (§4.4, Fig. 2).
+	Jiffy *jiffy.Controller
+	// Orchestrator composes functions into state machines (§4.2).
+	Orchestrator *orchestrate.Engine
+}
+
+// New assembles a Platform.
+func New(opts Options) *Platform {
+	opts = opts.withDefaults()
+	clock := opts.Clock
+	meter := billing.NewMeter()
+
+	meta := coord.NewStore(clock)
+	ledgers := ledger.NewSystem(clock, meta)
+	for i := 0; i < opts.Bookies; i++ {
+		ledgers.AddBookie(ledger.NewBookie(fmt.Sprintf("bookie-%d", i)))
+	}
+	cluster := pulsar.NewCluster(clock, meta, ledgers, meter, pulsar.ClusterConfig{})
+	for i := 0; i < opts.Brokers; i++ {
+		cluster.AddBroker(fmt.Sprintf("broker-%d", i))
+	}
+	jf := jiffy.NewController(clock, meter, jiffy.Config{
+		BlockSize: opts.JiffyBlockSize,
+		Latency:   opts.JiffyLatency,
+	})
+	for i := 0; i < opts.JiffyNodes; i++ {
+		jf.AddNode(fmt.Sprintf("mem-%d", i), opts.BlocksPerNode)
+	}
+	fp := faas.New(clock, meter)
+
+	return &Platform{
+		Clock:        clock,
+		Meter:        meter,
+		Pricing:      opts.Pricing,
+		FaaS:         fp,
+		Blob:         blob.New(clock, meter, opts.BlobLatency),
+		Queue:        queue.New(clock, meter),
+		DB:           kvdb.New(clock, meter),
+		Coord:        meta,
+		Ledgers:      ledgers,
+		Pulsar:       cluster,
+		Jiffy:        jf,
+		Orchestrator: orchestrate.NewEngine(fp),
+	}
+}
+
+// Invoice prices a tenant's accumulated usage.
+func (p *Platform) Invoice(tenant string) billing.Invoice {
+	return p.Meter.Invoice(tenant, p.Pricing)
+}
+
+// Register deploys a function (shorthand for FaaS.Register).
+func (p *Platform) Register(name, tenant string, h faas.Handler, cfg faas.Config) error {
+	return p.FaaS.Register(name, tenant, h, cfg)
+}
+
+// Invoke runs a function synchronously (shorthand for FaaS.Invoke).
+func (p *Platform) Invoke(name string, payload []byte) (faas.Result, error) {
+	return p.FaaS.Invoke(name, payload)
+}
+
+// NewVirtual builds a Platform on a fresh virtual clock and returns both.
+// The caller drives the simulation with v.Run and should v.Close it after.
+func NewVirtual(opts Options) (*Platform, *simclock.Virtual) {
+	v := simclock.NewVirtual()
+	opts.Clock = v
+	return New(opts), v
+}
+
+// Elapsed returns the time elapsed on a virtual platform clock (zero on the
+// real clock).
+func (p *Platform) Elapsed() time.Duration {
+	if v, ok := p.Clock.(*simclock.Virtual); ok {
+		return v.Elapsed()
+	}
+	return 0
+}

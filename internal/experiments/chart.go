@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// asciiChart renders a small bar chart of series values — the closest thing
+// to a paper figure a terminal gets. Values are scaled to width columns.
+func asciiChart(labels []string, values []float64, width int, unit string) string {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return ""
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		if v > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s%s %.4g%s\n", labelW, labels[i],
+			strings.Repeat("█", bar), strings.Repeat(" ", width-bar), v, unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,564 @@
+// Package faas implements the Function-as-a-Service platform at the centre
+// of the paper (§2, §4.1): users register stateless functions and the
+// platform provides demand-driven execution — instances are provisioned on
+// demand (paying a cold-start penalty), kept warm for a keep-alive window,
+// and reaped back to zero when idle — with limited execution times,
+// per-function concurrency limits, transparent retry of failed asynchronous
+// invocations, and fine-grained billing.
+//
+// Function compute is modelled, not burned: handlers call Ctx.Work(d) to
+// consume d of simulated execution time on the shared Clock, which also
+// enforces the platform's execution time limit deterministically.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/scheduler"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the platform.
+var (
+	ErrNoFunction  = errors.New("faas: function not registered")
+	ErrExists      = errors.New("faas: function already registered")
+	ErrThrottled   = errors.New("faas: concurrency limit reached")
+	ErrTimeout     = errors.New("faas: execution time limit exceeded")
+	ErrPayloadSize = errors.New("faas: payload too large")
+)
+
+// Handler is the user function body. It may call Ctx.Work to model compute
+// and may use any platform service captured in its closure; its returned
+// bytes are the invocation result.
+type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
+
+// Config parameterizes one registered function.
+type Config struct {
+	// MemoryMB sizes the instance; it scales billing (GB-seconds).
+	// Default 128.
+	MemoryMB int
+	// Timeout is the execution time limit ("limited execution times",
+	// §4.1). Default 60s.
+	Timeout time.Duration
+	// MaxConcurrency caps simultaneously running instances. Default 1000.
+	MaxConcurrency int
+	// KeepAlive is how long an idle warm instance survives before the
+	// platform reclaims it. Default 10m, matching observed provider
+	// behaviour ([180]). Zero means instances are never reused.
+	KeepAlive time.Duration
+	// ColdStart is the provisioning+runtime-init latency of a new
+	// instance. Default 250ms, in the range measured by [112]/[180].
+	ColdStart time.Duration
+	// WarmStart is the dispatch latency onto an existing instance.
+	// Default 1ms.
+	WarmStart time.Duration
+	// MaxRetries is how many times InvokeAsync re-executes a failed
+	// invocation. Default 2 (i.e. up to 3 attempts), as AWS Lambda does
+	// for asynchronous events.
+	MaxRetries int
+	// MaxPayload bounds the request payload size in bytes. Default 6 MB.
+	MaxPayload int
+	// Prewarm keeps at least this many instances warm at all times
+	// ("provisioned concurrency"): they are created at registration and
+	// exempt from keep-alive reaping, trading standing cost for zero cold
+	// starts — the §6 SLA-predictability lever.
+	Prewarm int
+	// Demand is the instance's resource vector when the platform is
+	// attached to a cluster (AttachCluster). Zero means {CPU: 1000,
+	// MemMB: MemoryMB}.
+	Demand scheduler.Resources
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryMB == 0 {
+		c.MemoryMB = 128
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxConcurrency == 0 {
+		c.MaxConcurrency = 1000
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 10 * time.Minute
+	}
+	if c.ColdStart == 0 {
+		c.ColdStart = 250 * time.Millisecond
+	}
+	if c.WarmStart == 0 {
+		c.WarmStart = time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0 // negative disables async retry
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = 6 << 20
+	}
+	return c
+}
+
+// Ctx is passed to every handler invocation.
+type Ctx struct {
+	Clock        simclock.Clock
+	FunctionName string
+	Tenant       string
+	RequestID    int64
+	InstanceID   int64 // identity of the warm instance running this request
+	Attempt      int   // 1-based attempt number under async retry
+
+	budget   time.Duration // remaining execution time
+	worked   time.Duration
+	exceeded bool
+	slowdown float64 // interference multiplier (≥1) from co-resident contenders
+}
+
+// Work consumes d of simulated execution time. If the function's remaining
+// time budget is smaller than d, Work consumes only the budget and marks the
+// invocation as timed out; the platform then fails it with ErrTimeout.
+// When the platform is attached to a cluster, the wall-clock cost is
+// inflated by the instance's interference slowdown (§6 "SLA Guarantees":
+// contention makes performance unpredictable) while the budget is charged
+// the nominal amount.
+func (c *Ctx) Work(d time.Duration) {
+	if d <= 0 || c.exceeded {
+		return
+	}
+	if d >= c.budget {
+		d = c.budget
+		c.exceeded = true
+	}
+	c.budget -= d
+	c.worked += d
+	wall := d
+	if c.slowdown > 1 {
+		wall = time.Duration(float64(d) * c.slowdown)
+	}
+	c.Clock.Sleep(wall)
+}
+
+// Slowdown returns the invocation's interference multiplier (1 when the
+// platform has no cluster attached or the instance has no contenders).
+func (c *Ctx) Slowdown() float64 {
+	if c.slowdown < 1 {
+		return 1
+	}
+	return c.slowdown
+}
+
+// TimedOut reports whether the invocation has exhausted its time budget.
+func (c *Ctx) TimedOut() bool { return c.exceeded }
+
+// Remaining returns the unconsumed execution time budget.
+func (c *Ctx) Remaining() time.Duration { return c.budget }
+
+type instance struct {
+	id        int64
+	idleSince time.Time
+}
+
+// ScalePoint is one sample of a function's instance footprint over time,
+// recorded at every scaling-relevant event (experiment E2).
+type ScalePoint struct {
+	At        time.Time
+	Instances int // warm idle + running
+}
+
+type function struct {
+	name     string
+	tenant   string
+	handler  Handler
+	cfg      Config
+	platform *Platform
+
+	mu          sync.Mutex
+	idle        []*instance // LIFO: most recently used first
+	running     int
+	nextInst    int64
+	invocations int64
+	coldStarts  int64
+	throttles   int64
+	timeouts    int64
+	failures    int64
+	durations   []time.Duration // end-to-end invoke latencies
+	timeline    []ScalePoint
+}
+
+// Platform is the FaaS control plane plus data plane.
+type Platform struct {
+	clock simclock.Clock
+	meter *billing.Meter
+
+	mu        sync.Mutex
+	functions map[string]*function
+	nextReq   int64
+
+	cluster *scheduler.Cluster
+	penalty float64 // slowdown per same-dominant co-resident
+}
+
+// New creates an empty Platform. meter may be nil to disable billing.
+func New(clock simclock.Clock, meter *billing.Meter) *Platform {
+	return &Platform{clock: clock, meter: meter, functions: map[string]*function{}}
+}
+
+// Clock returns the platform's clock (handlers and triggers share it).
+func (p *Platform) Clock() simclock.Clock { return p.clock }
+
+// AttachCluster binds instance placement to a scheduler cluster: every
+// instance occupies its function's Demand on a machine chosen by the
+// cluster's policy, and invocations suffer a slowdown of
+// 1 + penalty × (same-dominant co-residents) — making §6's bin-packing /
+// performance-isolation trade-off measurable (experiments E19, E20). Attach
+// before registering functions.
+func (p *Platform) AttachCluster(c *scheduler.Cluster, penaltyPerContender float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cluster = c
+	p.penalty = penaltyPerContender
+}
+
+// Cluster returns the attached cluster (nil if none).
+func (p *Platform) Cluster() *scheduler.Cluster {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cluster
+}
+
+// Register adds a function owned by tenant. With Prewarm > 0, the
+// provisioned instances are created (and placed) immediately.
+func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) error {
+	p.mu.Lock()
+	if _, ok := p.functions[name]; ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	fn := &function{name: name, tenant: tenant, handler: handler, cfg: cfg.withDefaults(), platform: p}
+	p.functions[name] = fn
+	p.mu.Unlock()
+
+	// Provisioned concurrency: instances exist before the first request.
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	now := p.clock.Now()
+	for i := 0; i < fn.cfg.Prewarm; i++ {
+		fn.nextInst++
+		inst := &instance{id: fn.nextInst, idleSince: now}
+		if err := p.placeInstance(fn, inst); err != nil {
+			return err
+		}
+		fn.idle = append(fn.idle, inst)
+	}
+	if fn.cfg.Prewarm > 0 {
+		fn.recordLocked(now)
+	}
+	return nil
+}
+
+// instKey identifies an instance in the attached cluster.
+func instKey(fnName string, id int64) string {
+	return fmt.Sprintf("%s#%d", fnName, id)
+}
+
+// placeInstance claims cluster capacity for a new instance (no-op without a
+// cluster).
+func (p *Platform) placeInstance(fn *function, inst *instance) error {
+	if p.cluster == nil {
+		return nil
+	}
+	demand := fn.cfg.Demand
+	if demand == (scheduler.Resources{}) {
+		demand = scheduler.Resources{CPU: 1000, MemMB: float64(fn.cfg.MemoryMB)}
+	}
+	_, err := p.cluster.PlaceTenant(instKey(fn.name, inst.id), fn.tenant, demand)
+	return err
+}
+
+// releaseInstance returns an instance's cluster capacity (no-op without a
+// cluster).
+func (p *Platform) releaseInstance(fn *function, inst *instance) {
+	if p.cluster != nil {
+		_ = p.cluster.Release(instKey(fn.name, inst.id))
+	}
+}
+
+// slowdownFor computes an instance's current interference multiplier.
+func (p *Platform) slowdownFor(fn *function, inst *instance) float64 {
+	if p.cluster == nil || p.penalty <= 0 {
+		return 1
+	}
+	return 1 + p.penalty*float64(p.cluster.ContendersOf(instKey(fn.name, inst.id)))
+}
+
+// Unregister removes a function, releasing its idle instances' cluster
+// capacity.
+func (p *Platform) Unregister(name string) error {
+	p.mu.Lock()
+	fn, ok := p.functions[name]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoFunction, name)
+	}
+	delete(p.functions, name)
+	p.mu.Unlock()
+
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	for _, in := range fn.idle {
+		p.releaseInstance(fn, in)
+	}
+	fn.idle = nil
+	return nil
+}
+
+// Result describes one completed invocation.
+type Result struct {
+	Output    []byte
+	Cold      bool          // the invocation paid a cold start
+	Latency   time.Duration // end-to-end: queuing + start + execution
+	Billed    time.Duration // duration billed (rounded up)
+	RequestID int64
+}
+
+// Invoke runs a function synchronously and returns its result. The calling
+// goroutine pays the start latency and execution time on the platform clock.
+func (p *Platform) Invoke(name string, payload []byte) (Result, error) {
+	return p.invoke(name, payload, 1)
+}
+
+func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, error) {
+	p.mu.Lock()
+	fn, ok := p.functions[name]
+	if !ok {
+		p.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	}
+	p.nextReq++
+	reqID := p.nextReq
+	p.mu.Unlock()
+
+	if len(payload) > fn.cfg.MaxPayload {
+		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
+	}
+
+	start := p.clock.Now()
+
+	// Acquire an instance: reuse a live warm one or provision cold.
+	fn.mu.Lock()
+	fn.reapLocked(start)
+	var inst *instance
+	cold := false
+	if n := len(fn.idle); n > 0 {
+		inst = fn.idle[n-1]
+		fn.idle = fn.idle[:n-1]
+	} else {
+		if fn.running+len(fn.idle) >= fn.cfg.MaxConcurrency {
+			fn.throttles++
+			fn.mu.Unlock()
+			return Result{}, fmt.Errorf("%w: %q at %d", ErrThrottled, name, fn.cfg.MaxConcurrency)
+		}
+		fn.nextInst++
+		inst = &instance{id: fn.nextInst}
+		if err := p.placeInstance(fn, inst); err != nil {
+			fn.nextInst--
+			fn.throttles++
+			fn.mu.Unlock()
+			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
+		}
+		cold = true
+		fn.coldStarts++
+	}
+	fn.running++
+	fn.invocations++
+	fn.recordLocked(start)
+	fn.mu.Unlock()
+
+	// Pay start latency.
+	if cold {
+		p.clock.Sleep(fn.cfg.ColdStart)
+	} else {
+		p.clock.Sleep(fn.cfg.WarmStart)
+	}
+
+	// Execute with the time-limit budget.
+	ctx := &Ctx{
+		Clock:        p.clock,
+		FunctionName: name,
+		Tenant:       fn.tenant,
+		RequestID:    reqID,
+		InstanceID:   inst.id,
+		Attempt:      attempt,
+		budget:       fn.cfg.Timeout,
+		slowdown:     p.slowdownFor(fn, inst),
+	}
+	out, err := fn.handler(ctx, payload)
+	if ctx.exceeded {
+		err = fmt.Errorf("%w: %q after %v", ErrTimeout, name, fn.cfg.Timeout)
+		out = nil
+	}
+
+	end := p.clock.Now()
+	execDur := ctx.worked
+	if execDur == 0 {
+		// Handlers that do no modelled work still bill a minimum granule.
+		execDur = time.Millisecond
+	}
+	if p.meter != nil {
+		p.meter.AddInvocation(fn.tenant, execDur, fn.cfg.MemoryMB, end)
+	}
+
+	// Return the instance to the warm pool (even after handler errors; the
+	// runtime survives user exceptions, as on real platforms).
+	fn.mu.Lock()
+	fn.running--
+	inst.idleSince = end
+	if fn.cfg.KeepAlive > 0 || fn.cfg.Prewarm > 0 {
+		fn.idle = append(fn.idle, inst)
+		fn.reapLocked(end)
+	} else {
+		p.releaseInstance(fn, inst)
+	}
+	fn.durations = append(fn.durations, end.Sub(start))
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			fn.timeouts++
+		}
+		fn.failures++
+	}
+	fn.recordLocked(end)
+	fn.mu.Unlock()
+
+	res := Result{
+		Output:    out,
+		Cold:      cold,
+		Latency:   end.Sub(start),
+		Billed:    billing.BilledDuration(execDur),
+		RequestID: reqID,
+	}
+	return res, err
+}
+
+// asyncRetryBase is the backoff before an async re-execution; it doubles per
+// attempt (providers space retries out so transient failures can clear).
+const asyncRetryBase = 500 * time.Millisecond
+
+// InvokeAsync runs a function on its own goroutine, transparently
+// re-executing it on failure — with exponential backoff — up to the
+// function's MaxRetries (§4.1: "most FaaS platforms re-execute functions
+// transparently on failure"). done, if non-nil, receives the final result.
+func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, error)) {
+	p.clock.Go(func() {
+		p.mu.Lock()
+		fn, ok := p.functions[name]
+		p.mu.Unlock()
+		retries := 0
+		if ok {
+			retries = fn.cfg.MaxRetries
+		}
+		var res Result
+		var err error
+		backoff := asyncRetryBase
+		for attempt := 1; attempt <= retries+1; attempt++ {
+			if attempt > 1 {
+				p.clock.Sleep(backoff)
+				backoff *= 2
+			}
+			res, err = p.invoke(name, payload, attempt)
+			if err == nil {
+				break
+			}
+		}
+		if done != nil {
+			done(res, err)
+		}
+	})
+}
+
+// reapLocked retires idle instances whose keep-alive lapsed, never dropping
+// the idle pool below the provisioned (Prewarm) floor. Called with fn.mu
+// held.
+func (fn *function) reapLocked(now time.Time) {
+	var kept, expired []*instance
+	for _, in := range fn.idle {
+		if fn.cfg.KeepAlive > 0 && now.Sub(in.idleSince) < fn.cfg.KeepAlive {
+			kept = append(kept, in)
+		} else {
+			expired = append(expired, in)
+		}
+	}
+	// Retain the most recently idle expired instances to hold the floor.
+	if need := fn.cfg.Prewarm - len(kept); need > 0 {
+		if need > len(expired) {
+			need = len(expired)
+		}
+		kept = append(kept, expired[len(expired)-need:]...)
+		expired = expired[:len(expired)-need]
+	}
+	for _, in := range expired {
+		fn.platform.releaseInstance(fn, in)
+	}
+	fn.idle = kept
+	if len(expired) > 0 {
+		fn.recordLocked(now)
+	}
+}
+
+func (fn *function) recordLocked(at time.Time) {
+	fn.timeline = append(fn.timeline, ScalePoint{At: at, Instances: fn.running + len(fn.idle)})
+}
+
+// Stats is a snapshot of one function's counters.
+type Stats struct {
+	Invocations int64
+	ColdStarts  int64
+	Throttles   int64
+	Timeouts    int64
+	Failures    int64
+	WarmIdle    int
+	Running     int
+	Durations   []time.Duration
+	Timeline    []ScalePoint
+}
+
+// Stats returns a snapshot for a function, with the warm pool reaped as of
+// now (so WarmIdle reflects scale-to-zero).
+func (p *Platform) Stats(name string) (Stats, error) {
+	p.mu.Lock()
+	fn, ok := p.functions[name]
+	p.mu.Unlock()
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	}
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	fn.reapLocked(p.clock.Now())
+	return Stats{
+		Invocations: fn.invocations,
+		ColdStarts:  fn.coldStarts,
+		Throttles:   fn.throttles,
+		Timeouts:    fn.timeouts,
+		Failures:    fn.failures,
+		WarmIdle:    len(fn.idle),
+		Running:     fn.running,
+		Durations:   append([]time.Duration{}, fn.durations...),
+		Timeline:    append([]ScalePoint{}, fn.timeline...),
+	}, nil
+}
+
+// Percentile returns the q-th percentile (0..100) of ds. It returns 0 for an
+// empty slice.
+func Percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration{}, ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q / 100 * float64(len(s)-1))
+	return s[idx]
+}

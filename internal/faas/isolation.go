@@ -1,0 +1,68 @@
+package faas
+
+import (
+	"time"
+
+	"repro/internal/scheduler"
+)
+
+// Isolation models the §6 spectrum of function-isolation technologies:
+// "recent research has focused on lightweight isolation between functions on
+// shared hardware via secure containers" (Firecracker [29], gVisor [38],
+// Kata [44], unikernels [95/139]). Each technology trades isolation strength
+// for cold-start latency and per-instance memory overhead — which in turn
+// sets how densely functions pack onto a machine (experiment E24).
+type Isolation struct {
+	// Name labels the technology.
+	Name string
+	// ColdStart is the provisioning+boot latency of one instance.
+	ColdStart time.Duration
+	// MemOverheadMB is the runtime's fixed memory cost on top of the
+	// function's own memory.
+	MemOverheadMB int
+}
+
+// The presets follow published measurements circa the paper: standard
+// containers boot in hundreds of ms with substantial runtime overhead;
+// Firecracker microVMs boot in ~125ms in a few MB; gVisor sits between;
+// unikernels boot in tens of ms with minimal footprint.
+var (
+	// Container is a standard OCI container runtime.
+	Container = Isolation{Name: "container", ColdStart: 400 * time.Millisecond, MemOverheadMB: 128}
+	// GVisor is a user-space-kernel sandbox ([38]).
+	GVisor = Isolation{Name: "gvisor", ColdStart: 250 * time.Millisecond, MemOverheadMB: 64}
+	// MicroVM is a Firecracker-style minimal VM ([29]).
+	MicroVM = Isolation{Name: "microvm", ColdStart: 125 * time.Millisecond, MemOverheadMB: 16}
+	// Unikernel is a single-application library OS ([95], [139]).
+	Unikernel = Isolation{Name: "unikernel", ColdStart: 20 * time.Millisecond, MemOverheadMB: 4}
+)
+
+// Isolations lists the presets from strongest-compatibility to lightest.
+func Isolations() []Isolation {
+	return []Isolation{Container, GVisor, MicroVM, Unikernel}
+}
+
+// Apply returns cfg with the technology's cold start and memory overhead
+// folded in (Demand gains the overhead so packing density reflects it).
+func (i Isolation) Apply(cfg Config) Config {
+	cfg.ColdStart = i.ColdStart
+	mem := cfg.MemoryMB
+	if mem == 0 {
+		mem = 128
+	}
+	if cfg.Demand == (scheduler.Resources{}) {
+		cfg.Demand = scheduler.Resources{CPU: 1000, MemMB: float64(mem)}
+	}
+	cfg.Demand.MemMB += float64(i.MemOverheadMB)
+	return cfg
+}
+
+// Density returns how many instances of a function with the given memory fit
+// on a machine with machineMemMB under this isolation technology.
+func (i Isolation) Density(functionMemMB, machineMemMB int) int {
+	per := functionMemMB + i.MemOverheadMB
+	if per <= 0 {
+		return 0
+	}
+	return machineMemMB / per
+}

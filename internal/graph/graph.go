@@ -1,0 +1,183 @@
+// Package graph implements the serverless graph processing workload of §5.1
+// ([173], Graphless): a vertex-centric BSP ("Pregel" [142]) engine whose
+// per-superstep vertex computation fans out over FaaS workers, with vertex
+// state and message exchange held in an in-memory engine — here a Jiffy
+// namespace, standing in for the distributed Redis memory engine Toader et
+// al. used. PageRank, single-source shortest paths and connected components
+// are provided as vertex programs with exact serial baselines.
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a directed graph in adjacency-list form.
+type Graph struct {
+	N   int
+	Adj [][]Edge
+}
+
+// NewGraph creates an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]Edge, n)}
+}
+
+// AddEdge adds a directed edge.
+func (g *Graph) AddEdge(from, to int, w float64) {
+	g.Adj[from] = append(g.Adj[from], Edge{To: to, Weight: w})
+}
+
+// Edges returns the total edge count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, adj := range g.Adj {
+		n += len(adj)
+	}
+	return n
+}
+
+// Random generates a graph where each vertex gets outDegree random
+// out-neighbours, deterministic under seed.
+func Random(n, outDegree int, seed int64) *Graph {
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < n; v++ {
+		for d := 0; d < outDegree; d++ {
+			to := rng.Intn(n)
+			g.AddEdge(v, to, 1+rng.Float64()*9)
+		}
+	}
+	return g
+}
+
+// Ring generates a bidirectional ring (diameter n/2 — a worst case for BSP
+// propagation).
+func Ring(n int) *Graph {
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n, 1)
+		g.AddEdge((v+1)%n, v, 1)
+	}
+	return g
+}
+
+// Star generates a hub-and-spoke graph (vertex 0 is the hub).
+func Star(n int) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v, 1)
+		g.AddEdge(v, 0, 1)
+	}
+	return g
+}
+
+// --- serial baselines ---
+
+// PageRankSerial runs the classic power iteration.
+func PageRankSerial(g *Graph, iters int, damping float64) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for v := 0; v < n; v++ {
+			if len(g.Adj[v]) == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(len(g.Adj[v]))
+			for _, e := range g.Adj[v] {
+				next[e.To] += share
+			}
+		}
+		rank = next
+	}
+	return rank
+}
+
+// SSSPSerial is Dijkstra from src; unreachable vertices get +Inf.
+func SSSPSerial(g *Graph, src int) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue
+		}
+		for _, e := range g.Adj[top.v] {
+			if nd := top.d + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, distEntry{e.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// WCCSerial labels weakly connected components with union-find; the label is
+// the smallest vertex id in the component.
+func WCCSerial(g *Graph) []int {
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		for _, e := range g.Adj[v] {
+			union(v, e.To)
+		}
+	}
+	out := make([]int, g.N)
+	for v := range out {
+		out[v] = find(v)
+	}
+	return out
+}
+
+type distEntry struct {
+	v int
+	d float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

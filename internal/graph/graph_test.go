@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faas"
+	"repro/internal/jiffy"
+	"repro/internal/simclock"
+)
+
+func TestGeneratorsShape(t *testing.T) {
+	g := Random(100, 3, 1)
+	if g.N != 100 || g.Edges() != 300 {
+		t.Fatalf("random graph: n=%d edges=%d", g.N, g.Edges())
+	}
+	r := Ring(10)
+	if r.Edges() != 20 {
+		t.Fatalf("ring edges = %d", r.Edges())
+	}
+	s := Star(5)
+	if s.Edges() != 8 {
+		t.Fatalf("star edges = %d", s.Edges())
+	}
+	// Determinism.
+	g2 := Random(100, 3, 1)
+	for v := 0; v < g.N; v++ {
+		for i, e := range g.Adj[v] {
+			if g2.Adj[v][i] != e {
+				t.Fatal("Random graph nondeterministic")
+			}
+		}
+	}
+}
+
+func TestPageRankSerialSums(t *testing.T) {
+	g := Random(50, 4, 2)
+	pr := PageRankSerial(g, 30, 0.85)
+	sum := 0.0
+	for _, r := range pr {
+		sum += r
+	}
+	// Mass is conserved up to dangling-vertex leakage (none here: every
+	// vertex has out-degree 4).
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("pagerank sum = %v", sum)
+	}
+}
+
+func TestSSSPSerialOnRing(t *testing.T) {
+	g := Ring(10)
+	dist := SSSPSerial(g, 0)
+	if dist[5] != 5 || dist[9] != 1 || dist[0] != 0 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestWCCSerial(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 2, 1)
+	labels := WCCSerial(g)
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 2 || labels[3] != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[4] != 4 || labels[5] != 5 {
+		t.Fatalf("isolated labels = %v", labels)
+	}
+}
+
+func pregelEnv(t *testing.T) (*simclock.Virtual, *faas.Platform, *jiffy.Namespace) {
+	t.Helper()
+	v := simclock.NewVirtual()
+	t.Cleanup(v.Close)
+	p := faas.New(v, nil)
+	ctrl := jiffy.NewController(v, nil, jiffy.Config{BlockSize: 1 << 20, Latency: jiffy.NoLatency})
+	ctrl.AddNode("n0", 256)
+	ns, err := ctrl.CreateNamespace("/pregel", jiffy.NamespaceOptions{Lease: -1, InitialBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, p, ns
+}
+
+func TestPregelPageRankMatchesSerial(t *testing.T) {
+	v, p, ns := pregelEnv(t)
+	g := Random(60, 4, 3)
+	want := PageRankSerial(g, 20, 0.85)
+	var got []float64
+	v.Run(func() {
+		var err error
+		got, _, err = Run(p, ns, g, PageRank(20, 0.85), EngineConfig{Workers: 4, MaxSupersteps: 25})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPregelSSSPMatchesDijkstra(t *testing.T) {
+	v, p, ns := pregelEnv(t)
+	g := Random(80, 3, 4)
+	want := SSSPSerial(g, 0)
+	var got []float64
+	var stats RunStats
+	v.Run(func() {
+		var err error
+		got, stats, err = Run(p, ns, g, SSSP(0), EngineConfig{Workers: 5, MaxSupersteps: 100})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for i := range want {
+		if want[i] != got[i] && !(math.IsInf(want[i], 1) && math.IsInf(got[i], 1)) {
+			t.Fatalf("dist[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if stats.Supersteps == 0 || stats.MessagesSent == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPregelWCCMatchesUnionFind(t *testing.T) {
+	v, p, ns := pregelEnv(t)
+	// Three components: a ring, a pair, an isolated vertex.
+	g := NewGraph(13)
+	for i := 0; i < 10; i++ {
+		g.AddEdge(i, (i+1)%10, 1)
+		g.AddEdge((i+1)%10, i, 1)
+	}
+	g.AddEdge(10, 11, 1)
+	g.AddEdge(11, 10, 1)
+	want := WCCSerial(g)
+	var got []float64
+	v.Run(func() {
+		var err error
+		got, _, err = Run(p, ns, g, WCC(), EngineConfig{Workers: 3, MaxSupersteps: 50})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for i := range want {
+		if int(got[i]) != want[i] {
+			t.Fatalf("label[%d] = %v, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPregelHaltsEarly(t *testing.T) {
+	v, p, ns := pregelEnv(t)
+	g := Ring(6) // SSSP on a small ring converges in ~4 supersteps
+	var stats RunStats
+	v.Run(func() {
+		var err error
+		_, stats, err = Run(p, ns, g, SSSP(0), EngineConfig{Workers: 2, MaxSupersteps: 100})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if stats.Supersteps >= 100 || stats.Supersteps < 3 {
+		t.Fatalf("supersteps = %d, expected early halt", stats.Supersteps)
+	}
+}
+
+func TestPregelWorkersCappedByVertices(t *testing.T) {
+	v, p, ns := pregelEnv(t)
+	g := Ring(3)
+	v.Run(func() {
+		got, _, err := Run(p, ns, g, SSSP(0), EngineConfig{Workers: 16, MaxSupersteps: 20})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got[1] != 1 || got[2] != 1 {
+			t.Errorf("dist = %v", got)
+		}
+	})
+}

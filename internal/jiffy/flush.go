@@ -1,0 +1,74 @@
+package jiffy
+
+import (
+	"strings"
+
+	"repro/internal/blob"
+)
+
+// FlushTarget configures where expiring namespaces persist their data.
+type FlushTarget struct {
+	Store  *blob.Store
+	Bucket string
+}
+
+// SetFlushTarget installs a persistent tier: namespaces created with
+// FlushOnExpiry have their KV contents written to the blob store when their
+// lease lapses, instead of being silently discarded — the "flush to
+// persistent storage" flavour of Jiffy's lifetime management, for state
+// whose consumer may arrive after the lease.
+func (c *Controller) SetFlushTarget(t FlushTarget) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flush = t
+}
+
+// FlushKey returns the blob key a namespace's KV entry flushes to.
+func FlushKey(nsPath, key string) string {
+	return "flushed" + nsPath + "/" + key
+}
+
+// flushLocked persists a namespace's KV pairs to the flush target. Called
+// with c.mu held; blob writes happen after unlock via the returned closure
+// (blob Puts sleep on the clock and must not run under the controller lock).
+func (c *Controller) flushLocked(ns *Namespace) func() {
+	if c.flush.Store == nil || !ns.flushOnExpiry {
+		return nil
+	}
+	type pair struct {
+		key string
+		val []byte
+	}
+	var pairs []pair
+	for _, b := range ns.blocks {
+		for k, v := range b.kv {
+			pairs = append(pairs, pair{k, append([]byte(nil), v...)})
+		}
+	}
+	store, bucket, path := c.flush.Store, c.flush.Bucket, ns.path
+	return func() {
+		for _, p := range pairs {
+			_, _ = store.Put(bucket, FlushKey(path, p.key), p.val, blob.PutOptions{})
+		}
+	}
+}
+
+// Flushed reads a flushed value back from the persistent tier.
+func Flushed(t FlushTarget, nsPath, key string) ([]byte, error) {
+	data, _, err := t.Store.Get(t.Bucket, FlushKey(nsPath, key))
+	return data, err
+}
+
+// ListFlushed returns the keys flushed from a namespace.
+func ListFlushed(t FlushTarget, nsPath string) ([]string, error) {
+	infos, _, err := t.Store.List(t.Bucket, "flushed"+nsPath+"/", "", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(infos))
+	prefix := "flushed" + nsPath + "/"
+	for i, info := range infos {
+		out[i] = strings.TrimPrefix(info.Key, prefix)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package jiffy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/simclock"
+)
+
+func TestFlushOnExpiryPersistsData(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	c := NewController(v, nil, Config{Latency: NoLatency})
+	c.AddNode("n0", 8)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	target := FlushTarget{Store: store, Bucket: "cold"}
+	v.Run(func() {
+		must(t, store.CreateBucket("cold", "t"))
+		c.SetFlushTarget(target)
+		ns, err := c.CreateNamespace("/job", NamespaceOptions{Lease: time.Second, FlushOnExpiry: true})
+		must(t, err)
+		must(t, ns.Put("result", []byte("42")))
+		must(t, ns.Put("aux", []byte("meta")))
+		v.Sleep(2 * time.Second)
+		c.ReapExpired()
+		v.Sleep(time.Second) // let the async flush land
+	})
+	// Ephemeral copy is gone; persistent copy remains.
+	if _, err := c.Namespace("/job"); err == nil {
+		t.Fatal("namespace survived expiry")
+	}
+	data, err := Flushed(target, "/job", "result")
+	if err != nil || string(data) != "42" {
+		t.Fatalf("flushed value = %q err=%v", data, err)
+	}
+	keys, err := ListFlushed(target, "/job")
+	must(t, err)
+	if len(keys) != 2 || keys[0] != "aux" || keys[1] != "result" {
+		t.Fatalf("flushed keys = %v", keys)
+	}
+}
+
+func TestNoFlushWithoutOptIn(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	c := NewController(v, nil, Config{Latency: NoLatency})
+	c.AddNode("n0", 4)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	target := FlushTarget{Store: store, Bucket: "cold"}
+	v.Run(func() {
+		must(t, store.CreateBucket("cold", "t"))
+		c.SetFlushTarget(target)
+		ns, err := c.CreateNamespace("/quiet", NamespaceOptions{Lease: time.Second})
+		must(t, err)
+		must(t, ns.Put("k", []byte("v")))
+		v.Sleep(2 * time.Second)
+		c.ReapExpired()
+		v.Sleep(time.Second)
+	})
+	if keys, _ := ListFlushed(target, "/quiet"); len(keys) != 0 {
+		t.Fatalf("data flushed without opt-in: %v", keys)
+	}
+}
+
+func TestExplicitRemoveDoesNotFlush(t *testing.T) {
+	// Flush is the expiry path only; explicit Remove means "discard".
+	v := simclock.NewVirtual()
+	defer v.Close()
+	c := NewController(v, nil, Config{Latency: NoLatency})
+	c.AddNode("n0", 4)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	target := FlushTarget{Store: store, Bucket: "cold"}
+	v.Run(func() {
+		must(t, store.CreateBucket("cold", "t"))
+		c.SetFlushTarget(target)
+		ns, err := c.CreateNamespace("/gone", NamespaceOptions{Lease: -1, FlushOnExpiry: true})
+		must(t, err)
+		must(t, ns.Put("k", []byte("v")))
+		must(t, ns.Remove())
+		v.Sleep(time.Second)
+	})
+	if keys, _ := ListFlushed(target, "/gone"); len(keys) != 0 {
+		t.Fatalf("explicit remove flushed data: %v", keys)
+	}
+}

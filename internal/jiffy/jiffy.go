@@ -1,0 +1,437 @@
+// Package jiffy implements the paper's §4.4 ephemeral-state store
+// (Figure 2): a virtual memory layer for serverless applications built on
+// the paper's three insights — (1) multiplex a shared pool of memory across
+// applications at block granularity, (2) break the single global
+// address-space so that scaling one application's memory re-partitions only
+// that application's data (isolation), and (3) borrow operating-system
+// virtual-memory ideas: hierarchical namespaces as address spaces,
+// block-granularity allocation as paging, lease-based lifetime management,
+// and per-namespace notifications to signal consumers that state is ready.
+//
+// A Controller manages memory nodes contributing fixed-size blocks to a
+// shared pool. Namespaces form a tree (e.g. /tenant/app/task); each
+// namespace owns blocks and exposes a key-value and a FIFO-queue data
+// interface over them. The GlobalKV type in global.go is the
+// single-global-address-space baseline that experiment E5 compares against.
+package jiffy
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the store.
+var (
+	ErrNoNamespace = errors.New("jiffy: namespace does not exist")
+	ErrNsExists    = errors.New("jiffy: namespace already exists")
+	ErrNoCapacity  = errors.New("jiffy: shared memory pool exhausted")
+	ErrNoKey       = errors.New("jiffy: key not found")
+	ErrEmptyQueue  = errors.New("jiffy: queue is empty")
+	ErrBadPath     = errors.New("jiffy: malformed namespace path")
+	ErrValueTooBig = errors.New("jiffy: value exceeds block size")
+	ErrHasChildren = errors.New("jiffy: namespace has children")
+	ErrMinBlocks   = errors.New("jiffy: cannot scale below one block")
+)
+
+// LatencyModel is the modelled access cost of the store. Defaults reflect
+// memory-speed ephemeral storage: sub-millisecond operations, orders of
+// magnitude below blob-store latency — the §4.4 performance gap experiment
+// E4 measures.
+type LatencyModel struct {
+	PerOp   time.Duration
+	PerByte time.Duration
+}
+
+// Cost returns the modelled duration of an operation moving n bytes.
+func (l LatencyModel) Cost(n int) time.Duration {
+	return l.PerOp + time.Duration(n)*l.PerByte
+}
+
+// MemoryLatency is the default Jiffy access model (~200µs per op, ~1 GB/s).
+var MemoryLatency = LatencyModel{PerOp: 200 * time.Microsecond, PerByte: time.Nanosecond}
+
+// NoLatency disables modelled access latency (a zero-valued LatencyModel in
+// Config means "use the default"; NoLatency means "really zero" — the
+// negative PerOp makes Cost non-positive, which Sleep ignores).
+var NoLatency = LatencyModel{PerOp: -1}
+
+// EventType labels namespace notifications.
+type EventType int
+
+const (
+	// EventPut fires on a KV put or queue enqueue.
+	EventPut EventType = iota
+	// EventRemove fires on a KV delete or queue dequeue.
+	EventRemove
+	// EventExpired fires when a namespace's lease lapses and its state is
+	// reclaimed.
+	EventExpired
+	// EventScaled fires when a namespace gains or loses blocks.
+	EventScaled
+)
+
+// Event is delivered to namespace subscribers.
+type Event struct {
+	Type EventType
+	Path string
+	Key  string // the affected key, when applicable
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// BlockSize is the capacity of one memory block in bytes. Default 64 KiB.
+	BlockSize int
+	// DefaultLease is the namespace lease TTL when CreateNamespace gets
+	// none. Default 30s (short-lived, like the serverless tasks it serves).
+	DefaultLease time.Duration
+	// Latency is the modelled access cost. Default MemoryLatency.
+	Latency LatencyModel
+	// Tenant bills block-seconds when a meter is attached; default "jiffy".
+	Tenant string
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.DefaultLease == 0 {
+		c.DefaultLease = 30 * time.Second
+	}
+	if c.Latency == (LatencyModel{}) {
+		c.Latency = MemoryLatency
+	}
+	if c.Tenant == "" {
+		c.Tenant = "jiffy"
+	}
+	return c
+}
+
+// block is one fixed-size memory unit. Its storage lives on a memory node;
+// a block belongs to exactly one namespace at a time and serves as one hash
+// partition of that namespace's key-value data.
+type block struct {
+	node  *MemoryNode
+	kv    map[string][]byte
+	used  int       // bytes of KV data resident in this block
+	since time.Time // allocation time, for block-seconds metering
+}
+
+// MemoryNode is one server contributing blocks to the shared pool.
+type MemoryNode struct {
+	ID    string
+	total int
+	inUse int
+}
+
+// Free returns the node's unallocated block count.
+func (n *MemoryNode) Free() int { return n.total - n.inUse }
+
+// Namespace is one node of the hierarchical namespace tree, owning blocks
+// and exposing KV and queue interfaces over them.
+type Namespace struct {
+	ctrl     *Controller
+	path     string
+	parent   *Namespace
+	children map[string]*Namespace
+
+	lease         time.Duration
+	expiresAt     time.Time
+	flushOnExpiry bool
+
+	blocks []*block // KV hash partitions; they also back the FIFO's capacity
+	// fifo is the namespace's FIFO queue. It is namespace-scoped (ordering
+	// must span partitions); its bytes count against the aggregate
+	// capacity of the namespace's blocks.
+	fifo     [][]byte
+	fifoUsed int
+	subs     []func(Event)
+}
+
+// Controller is Jiffy's control plane: node registry, block allocator,
+// namespace tree, leases and notifications.
+type Controller struct {
+	clock simclock.Clock
+	meter *billing.Meter
+	cfg   Config
+
+	mu    sync.Mutex
+	nodes []*MemoryNode
+	root  map[string]*Namespace // top-level namespaces by first path part
+	all   map[string]*Namespace
+	flush FlushTarget
+}
+
+// NewController creates an empty controller. meter may be nil.
+func NewController(clock simclock.Clock, meter *billing.Meter, cfg Config) *Controller {
+	return &Controller{
+		clock: clock,
+		meter: meter,
+		cfg:   cfg.withDefaults(),
+		root:  map[string]*Namespace{},
+		all:   map[string]*Namespace{},
+	}
+}
+
+// AddNode contributes a memory node with the given number of blocks to the
+// shared pool.
+func (c *Controller) AddNode(id string, blocks int) *MemoryNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &MemoryNode{ID: id, total: blocks}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// FreeBlocks returns the pool's unallocated block count (reaping expired
+// leases first, so it reflects reclaimable capacity).
+func (c *Controller) FreeBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	free := 0
+	for _, n := range c.nodes {
+		free += n.Free()
+	}
+	return free
+}
+
+// TotalBlocks returns the pool's total block count.
+func (c *Controller) TotalBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.nodes {
+		total += n.total
+	}
+	return total
+}
+
+// NamespaceOptions parameterize CreateNamespace.
+type NamespaceOptions struct {
+	// Lease is the TTL; zero uses the controller default. A negative
+	// lease never expires.
+	Lease time.Duration
+	// InitialBlocks sizes the namespace's first allocation. Default 1.
+	InitialBlocks int
+	// FlushOnExpiry persists the namespace's KV data to the controller's
+	// flush target (SetFlushTarget) when the lease lapses, instead of
+	// discarding it.
+	FlushOnExpiry bool
+}
+
+// CreateNamespace makes a namespace at path (parents must exist, except for
+// top-level paths) and allocates its initial blocks from the shared pool.
+func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Namespace, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts.InitialBlocks <= 0 {
+		opts.InitialBlocks = 1
+	}
+	lease := opts.Lease
+	if lease == 0 {
+		lease = c.cfg.DefaultLease
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	if _, ok := c.all[path]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrNsExists, path)
+	}
+	var parent *Namespace
+	if len(parts) > 1 {
+		parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+		parent = c.all[parentPath]
+		if parent == nil {
+			return nil, fmt.Errorf("%w: parent of %q", ErrNoNamespace, path)
+		}
+	}
+	ns := &Namespace{
+		ctrl:          c,
+		path:          path,
+		parent:        parent,
+		children:      map[string]*Namespace{},
+		lease:         lease,
+		flushOnExpiry: opts.FlushOnExpiry,
+	}
+	if lease > 0 {
+		ns.expiresAt = c.clock.Now().Add(lease)
+	}
+	for i := 0; i < opts.InitialBlocks; i++ {
+		b, err := c.allocBlockLocked()
+		if err != nil {
+			c.freeBlocksLocked(ns.blocks)
+			return nil, err
+		}
+		ns.blocks = append(ns.blocks, b)
+	}
+	if parent != nil {
+		parent.children[parts[len(parts)-1]] = ns
+	} else {
+		c.root[parts[0]] = ns
+	}
+	c.all[path] = ns
+	return ns, nil
+}
+
+// Namespace returns an existing namespace by path.
+func (c *Controller) Namespace(path string) (*Namespace, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	ns, ok := c.all[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, path)
+	}
+	return ns, nil
+}
+
+// Subscribe registers a notification handler on a namespace. Handlers run
+// synchronously on the mutating goroutine.
+func (c *Controller) Subscribe(path string, fn func(Event)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.all[path]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, path)
+	}
+	ns.subs = append(ns.subs, fn)
+	return nil
+}
+
+// ReapExpired reclaims every namespace whose lease has lapsed, firing
+// EventExpired notifications. It runs lazily on most accesses too.
+func (c *Controller) ReapExpired() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+}
+
+// --- allocation internals (c.mu held) ---
+
+// allocBlockLocked takes a block from the node with the most free capacity
+// (spreading load across the pool).
+func (c *Controller) allocBlockLocked() (*block, error) {
+	var best *MemoryNode
+	for _, n := range c.nodes {
+		if n.Free() > 0 && (best == nil || n.Free() > best.Free()) {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	best.inUse++
+	return &block{node: best, kv: map[string][]byte{}, since: c.clock.Now()}, nil
+}
+
+func (c *Controller) freeBlocksLocked(blocks []*block) {
+	now := c.clock.Now()
+	for _, b := range blocks {
+		b.node.inUse--
+		if c.meter != nil {
+			held := now.Sub(b.since).Seconds()
+			c.meter.Add(billing.Record{
+				Tenant:   c.cfg.Tenant,
+				Resource: billing.ResJiffyBlockSecs,
+				Units:    held,
+				At:       now,
+			})
+		}
+	}
+}
+
+func (c *Controller) reapLocked() {
+	now := c.clock.Now()
+	var expired []*Namespace
+	for _, ns := range c.all {
+		if ns.lease > 0 && now.After(ns.expiresAt) {
+			expired = append(expired, ns)
+		}
+	}
+	// Deepest-first so children free before parents; deterministic order.
+	sort.Slice(expired, func(i, j int) bool {
+		di, dj := strings.Count(expired[i].path, "/"), strings.Count(expired[j].path, "/")
+		if di != dj {
+			return di > dj
+		}
+		return expired[i].path < expired[j].path
+	})
+	for _, ns := range expired {
+		if _, still := c.all[ns.path]; still {
+			c.removeLocked(ns, true)
+		}
+	}
+}
+
+// removeLocked frees a namespace and its descendants. Expiring namespaces
+// with FlushOnExpiry persist their data to the flush target asynchronously.
+func (c *Controller) removeLocked(ns *Namespace, expired bool) {
+	if expired {
+		if flushFn := c.flushLocked(ns); flushFn != nil {
+			c.clock.Go(flushFn)
+		}
+	}
+	names := make([]string, 0, len(ns.children))
+	for name := range ns.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.removeLocked(ns.children[name], expired)
+	}
+	c.freeBlocksLocked(ns.blocks)
+	ns.blocks = nil
+	delete(c.all, ns.path)
+	if ns.parent != nil {
+		for name, ch := range ns.parent.children {
+			if ch == ns {
+				delete(ns.parent.children, name)
+			}
+		}
+	} else {
+		parts, _ := splitPath(ns.path)
+		delete(c.root, parts[0])
+	}
+	if expired {
+		ns.notifyLocked(Event{Type: EventExpired, Path: ns.path})
+	}
+}
+
+func (ns *Namespace) notifyLocked(ev Event) {
+	for _, fn := range ns.subs {
+		fn(ev)
+	}
+}
+
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") || path == "/" {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	if path != "/"+strings.Join(parts, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	return parts, nil
+}
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}

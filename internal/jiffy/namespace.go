@@ -1,0 +1,344 @@
+package jiffy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Path returns the namespace's full path.
+func (ns *Namespace) Path() string { return ns.path }
+
+// Blocks returns the namespace's current block count.
+func (ns *Namespace) Blocks() int {
+	ns.ctrl.mu.Lock()
+	defer ns.ctrl.mu.Unlock()
+	return len(ns.blocks)
+}
+
+// UsedBytes returns the bytes stored in the namespace (KV plus queue).
+func (ns *Namespace) UsedBytes() int {
+	ns.ctrl.mu.Lock()
+	defer ns.ctrl.mu.Unlock()
+	n := ns.fifoUsed
+	for _, b := range ns.blocks {
+		n += b.used
+	}
+	return n
+}
+
+// Renew extends the namespace's lease by its TTL from now — the mechanism
+// that decouples state lifetime from the producing task's lifetime (§4.4):
+// any party with the path, producer or consumer, can keep the state alive.
+func (ns *Namespace) Renew() error {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	if _, ok := c.all[ns.path]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	if ns.lease > 0 {
+		ns.expiresAt = c.clock.Now().Add(ns.lease)
+	}
+	return nil
+}
+
+// Remove frees the namespace, its descendants and all their blocks.
+func (ns *Namespace) Remove() error {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.all[ns.path]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	c.removeLocked(ns, false)
+	return nil
+}
+
+// CreateChild creates a sub-namespace (e.g. a task's namespace under its
+// application), inheriting nothing: it has its own blocks and lease.
+func (ns *Namespace) CreateChild(name string, opts NamespaceOptions) (*Namespace, error) {
+	if strings.ContainsAny(name, "/ ") || name == "" {
+		return nil, fmt.Errorf("%w: child %q", ErrBadPath, name)
+	}
+	return ns.ctrl.CreateNamespace(ns.path+"/"+name, opts)
+}
+
+// Children returns the namespace's child names, sorted.
+func (ns *Namespace) Children() []string {
+	ns.ctrl.mu.Lock()
+	defer ns.ctrl.mu.Unlock()
+	out := make([]string, 0, len(ns.children))
+	for name := range ns.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scale adds (delta > 0) or removes (delta < 0) blocks, re-partitioning
+// *only this namespace's* keys across the new block set — the isolation
+// property that the single global address-space baseline cannot provide
+// (§4.4, experiment E5). It returns the number of keys that moved.
+func (ns *Namespace) Scale(delta int) (moved int, err error) {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.all[ns.path]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	oldCount := len(ns.blocks)
+	newCount := oldCount + delta
+	if newCount < 1 {
+		return 0, fmt.Errorf("%w: %d blocks requested", ErrMinBlocks, newCount)
+	}
+	if delta > 0 {
+		added := make([]*block, 0, delta)
+		for i := 0; i < delta; i++ {
+			b, err := c.allocBlockLocked()
+			if err != nil {
+				c.freeBlocksLocked(added)
+				return 0, err
+			}
+			added = append(added, b)
+		}
+		ns.blocks = append(ns.blocks, added...)
+	} else {
+		// Preserve dropped blocks' data before returning them to the pool;
+		// rehashLocked redistributes it properly below.
+		keep := ns.blocks[0]
+		for _, b := range ns.blocks[newCount:] {
+			for k, v := range b.kv {
+				keep.kv[k] = v
+				keep.used += len(k) + len(v)
+			}
+		}
+		c.freeBlocksLocked(ns.blocks[newCount:])
+		ns.blocks = ns.blocks[:newCount]
+	}
+	// Re-hash this namespace's KV entries into the new partition count. A
+	// key "moves" when its partition index changes — the data that must
+	// actually transfer between blocks during the resize.
+	moved = ns.rehashLocked(oldCount)
+	ns.notifyLocked(Event{Type: EventScaled, Path: ns.path})
+	return moved, nil
+}
+
+// rehashLocked redistributes the namespace's KV pairs across its current
+// block set, returning how many keys changed partition relative to oldCount
+// partitions. Called with c.mu held.
+func (ns *Namespace) rehashLocked(oldCount int) int {
+	type pair struct {
+		k string
+		v []byte
+	}
+	var pairs []pair
+	for _, b := range ns.blocks {
+		for k, v := range b.kv {
+			pairs = append(pairs, pair{k, v})
+		}
+		b.kv = map[string][]byte{}
+		b.used = 0
+	}
+	newCount := len(ns.blocks)
+	moved := 0
+	for _, p := range pairs {
+		h := int(hashKey(p.k))
+		t := ns.blocks[h%newCount]
+		t.kv[p.k] = p.v
+		t.used += len(p.k) + len(p.v)
+		if h%newCount != h%oldCount {
+			moved++
+		}
+	}
+	return moved
+}
+
+// --- KV interface ---
+
+// Put stores key→value in the namespace, auto-scaling by one block when the
+// target block is full and pool capacity allows.
+func (ns *Namespace) Put(key string, value []byte) error {
+	c := ns.ctrl
+	c.cfg.Latency.sleep(c.clock, len(value))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	if _, ok := c.all[ns.path]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	sz := len(key) + len(value)
+	if sz > c.cfg.BlockSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, sz, c.cfg.BlockSize)
+	}
+	for {
+		b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+		if old, ok := b.kv[key]; ok {
+			b.used -= len(key) + len(old)
+		}
+		if b.used+sz <= c.cfg.BlockSize {
+			b.kv[key] = append([]byte(nil), value...)
+			b.used += sz
+			ns.notifyLocked(Event{Type: EventPut, Path: ns.path, Key: key})
+			return nil
+		}
+		// Block full: grow the namespace by one block and retry.
+		if err := ns.growLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// growLocked adds one block, re-partitioning the namespace (c.mu held).
+func (ns *Namespace) growLocked() error {
+	b, err := ns.ctrl.allocBlockLocked()
+	if err != nil {
+		return err
+	}
+	oldCount := len(ns.blocks)
+	ns.blocks = append(ns.blocks, b)
+	ns.rehashLocked(oldCount)
+	ns.notifyLocked(Event{Type: EventScaled, Path: ns.path})
+	return nil
+}
+
+// Get returns the value for key.
+func (ns *Namespace) Get(key string) ([]byte, error) {
+	c := ns.ctrl
+	c.mu.Lock()
+	c.reapLocked()
+	if _, ok := c.all[ns.path]; !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	v, ok := b.kv[key]
+	var out []byte
+	if ok {
+		out = append([]byte(nil), v...)
+	}
+	c.mu.Unlock()
+	c.cfg.Latency.sleep(c.clock, len(out))
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, ns.path)
+	}
+	return out, nil
+}
+
+// Delete removes key.
+func (ns *Namespace) Delete(key string) error {
+	c := ns.ctrl
+	c.cfg.Latency.sleep(c.clock, 0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.all[ns.path]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	v, ok := b.kv[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoKey, key)
+	}
+	delete(b.kv, key)
+	b.used -= len(key) + len(v)
+	ns.notifyLocked(Event{Type: EventRemove, Path: ns.path, Key: key})
+	return nil
+}
+
+// Keys returns every key in the namespace, sorted.
+func (ns *Namespace) Keys() []string {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, b := range ns.blocks {
+		for k := range b.kv {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockOf returns the index of the block holding key (for isolation tests).
+func (ns *Namespace) BlockOf(key string) int {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(hashKey(key)) % len(ns.blocks)
+}
+
+// --- FIFO queue interface ---
+
+// Enqueue appends an item to the namespace's FIFO (the shuffle/exchange
+// primitive data-flow and ML workloads use for ephemeral state).
+func (ns *Namespace) Enqueue(item []byte) error {
+	c := ns.ctrl
+	c.cfg.Latency.sleep(c.clock, len(item))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	if _, ok := c.all[ns.path]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	if len(item) > c.cfg.BlockSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, len(item), c.cfg.BlockSize)
+	}
+	// The queue's bytes count against the namespace's aggregate block
+	// capacity; grow the namespace when the pool of blocks is exhausted.
+	for ns.usedLocked()+len(item) > len(ns.blocks)*c.cfg.BlockSize {
+		if err := ns.growLocked(); err != nil {
+			return err
+		}
+	}
+	ns.fifo = append(ns.fifo, append([]byte(nil), item...))
+	ns.fifoUsed += len(item)
+	ns.notifyLocked(Event{Type: EventPut, Path: ns.path})
+	return nil
+}
+
+// usedLocked returns total resident bytes (c.mu held).
+func (ns *Namespace) usedLocked() int {
+	n := ns.fifoUsed
+	for _, b := range ns.blocks {
+		n += b.used
+	}
+	return n
+}
+
+// Dequeue pops the oldest item, or ErrEmptyQueue.
+func (ns *Namespace) Dequeue() ([]byte, error) {
+	c := ns.ctrl
+	c.mu.Lock()
+	c.reapLocked()
+	if _, ok := c.all[ns.path]; !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	if len(ns.fifo) == 0 {
+		c.mu.Unlock()
+		c.cfg.Latency.sleep(c.clock, 0)
+		return nil, fmt.Errorf("%w: %q", ErrEmptyQueue, ns.path)
+	}
+	item := ns.fifo[0]
+	ns.fifo = ns.fifo[1:]
+	ns.fifoUsed -= len(item)
+	ns.notifyLocked(Event{Type: EventRemove, Path: ns.path})
+	c.mu.Unlock()
+	c.cfg.Latency.sleep(c.clock, len(item))
+	return item, nil
+}
+
+// QueueLen returns the FIFO's current depth.
+func (ns *Namespace) QueueLen() int {
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(ns.fifo)
+}
+
+func (l LatencyModel) sleep(clock interface{ Sleep(time.Duration) }, n int) {
+	clock.Sleep(l.Cost(n))
+}

@@ -1,0 +1,430 @@
+// Package ledger implements the Apache BookKeeper-style distributed
+// write-ahead log of §4.3 (Figure 1): storage nodes ("bookies") holding
+// replicated entries of append-only, single-writer logs ("ledgers").
+//
+// Ledger semantics follow the paper's description exactly: a process can
+// create a ledger, append entries and close it; after close — explicit or
+// because the writer crashed — it can only be opened read-only; when its
+// entries are no longer needed the whole ledger is deleted. Crash recovery
+// fences the ensemble so the dead writer cannot add entries, then finds the
+// last entry that reached the ack quorum.
+//
+// Ledger metadata (ensemble, quorum sizes, state) lives in the coordination
+// service, as it does in the real system.
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the ledger system.
+var (
+	ErrNoLedger     = errors.New("ledger: ledger does not exist")
+	ErrNoEntry      = errors.New("ledger: entry does not exist")
+	ErrClosed       = errors.New("ledger: ledger is closed")
+	ErrNotClosed    = errors.New("ledger: ledger is still open")
+	ErrFenced       = errors.New("ledger: ledger is fenced")
+	ErrBookieDown   = errors.New("ledger: bookie is down")
+	ErrNotEnough    = errors.New("ledger: not enough live bookies")
+	ErrQuorumLost   = errors.New("ledger: ack quorum unreachable")
+	ErrBadQuorum    = errors.New("ledger: invalid quorum configuration")
+	ErrWriterClosed = errors.New("ledger: writer already closed")
+)
+
+type entryKey struct {
+	ledger int64
+	entry  int64
+}
+
+// Bookie is one storage node.
+type Bookie struct {
+	ID string
+
+	mu      sync.Mutex
+	entries map[entryKey][]byte
+	fenced  map[int64]bool
+	last    map[int64]int64 // highest entry id seen per ledger
+	down    bool
+}
+
+// NewBookie creates an empty bookie.
+func NewBookie(id string) *Bookie {
+	return &Bookie{ID: id, entries: map[entryKey][]byte{}, fenced: map[int64]bool{}, last: map[int64]int64{}}
+}
+
+// SetDown injects or clears a crash: a down bookie rejects every request but
+// keeps its data (it can come back).
+func (b *Bookie) SetDown(down bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down = down
+}
+
+// Down reports whether the bookie is crashed.
+func (b *Bookie) Down() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down
+}
+
+func (b *Bookie) addEntry(ledgerID, entryID int64, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
+	}
+	if b.fenced[ledgerID] {
+		return fmt.Errorf("%w: ledger %d on %s", ErrFenced, ledgerID, b.ID)
+	}
+	b.entries[entryKey{ledgerID, entryID}] = append([]byte(nil), data...)
+	if cur, ok := b.last[ledgerID]; !ok || entryID > cur {
+		b.last[ledgerID] = entryID
+	}
+	return nil
+}
+
+func (b *Bookie) readEntry(ledgerID, entryID int64) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return nil, fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
+	}
+	data, ok := b.entries[entryKey{ledgerID, entryID}]
+	if !ok {
+		return nil, fmt.Errorf("%w: ledger %d entry %d on %s", ErrNoEntry, ledgerID, entryID, b.ID)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// fence marks the ledger read-only on this bookie and returns the highest
+// entry id it holds for the ledger (-1 if none).
+func (b *Bookie) fence(ledgerID int64) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return -1, fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
+	}
+	b.fenced[ledgerID] = true
+	if last, ok := b.last[ledgerID]; ok {
+		return last, nil
+	}
+	return -1, nil
+}
+
+func (b *Bookie) deleteLedger(ledgerID int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range b.entries {
+		if k.ledger == ledgerID {
+			delete(b.entries, k)
+		}
+	}
+	delete(b.fenced, ledgerID)
+	delete(b.last, ledgerID)
+}
+
+// EntryCount returns how many entries the bookie stores (all ledgers).
+func (b *Bookie) EntryCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// metadata is the per-ledger record kept in the coordination service.
+type metadata struct {
+	Ensemble    []string `json:"ensemble"`
+	WriteQuorum int      `json:"write_quorum"`
+	AckQuorum   int      `json:"ack_quorum"`
+	Closed      bool     `json:"closed"`
+	LastEntry   int64    `json:"last_entry"` // valid when Closed
+}
+
+const metaRoot = "/ledgers"
+
+// System is the bookkeeper cluster: a set of bookies plus the metadata store.
+type System struct {
+	clock simclock.Clock
+	meta  *coord.Store
+
+	// AppendLatency is the modelled durability cost paid by each Append.
+	AppendLatency time.Duration
+	// ReadLatency is the modelled bookie RPC cost paid by each Read.
+	ReadLatency time.Duration
+
+	mu      sync.Mutex
+	bookies map[string]*Bookie
+	order   []string // registration order, for deterministic ensembles
+	nextID  int64
+}
+
+// NewSystem creates a ledger system using meta for metadata.
+func NewSystem(clock simclock.Clock, meta *coord.Store) *System {
+	_ = meta.EnsurePath(metaRoot)
+	return &System{clock: clock, meta: meta, bookies: map[string]*Bookie{}}
+}
+
+// AddBookie registers a bookie with the cluster.
+func (s *System) AddBookie(b *Bookie) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bookies[b.ID]; !ok {
+		s.order = append(s.order, b.ID)
+	}
+	s.bookies[b.ID] = b
+}
+
+// Bookie returns a registered bookie by id.
+func (s *System) Bookie(id string) (*Bookie, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bookies[id]
+	return b, ok
+}
+
+// Writer appends entries to an open ledger. A ledger has a single writer.
+type Writer struct {
+	sys      *System
+	ledgerID int64
+	meta     metadata
+	next     int64
+	closed   bool
+}
+
+// CreateLedger opens a new ledger striped across an ensemble of ensembleSize
+// live bookies; each entry is written to writeQuorum of them and acknowledged
+// after ackQuorum durable copies.
+func (s *System) CreateLedger(ensembleSize, writeQuorum, ackQuorum int) (*Writer, error) {
+	if ackQuorum < 1 || ackQuorum > writeQuorum || writeQuorum > ensembleSize {
+		return nil, fmt.Errorf("%w: ensemble=%d write=%d ack=%d", ErrBadQuorum, ensembleSize, writeQuorum, ackQuorum)
+	}
+	s.mu.Lock()
+	var live []string
+	for _, id := range s.order {
+		if !s.bookies[id].Down() {
+			live = append(live, id)
+		}
+	}
+	if len(live) < ensembleSize {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: have %d live, need %d", ErrNotEnough, len(live), ensembleSize)
+	}
+	s.nextID++
+	id := s.nextID
+	ensemble := live[:ensembleSize]
+	s.mu.Unlock()
+
+	md := metadata{Ensemble: ensemble, WriteQuorum: writeQuorum, AckQuorum: ackQuorum}
+	raw, _ := json.Marshal(md)
+	if err := s.meta.Create(metaPath(id), raw, coord.Persistent, 0); err != nil {
+		return nil, err
+	}
+	return &Writer{sys: s, ledgerID: id, meta: md}, nil
+}
+
+// ID returns the ledger's id.
+func (w *Writer) ID() int64 { return w.ledgerID }
+
+// Append writes data as the next entry, returning its entry id once
+// ackQuorum bookies have it.
+func (w *Writer) Append(data []byte) (int64, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	w.sys.clock.Sleep(w.sys.AppendLatency)
+	entryID := w.next
+
+	acks := 0
+	var lastErr error
+	for j := 0; j < w.meta.WriteQuorum; j++ {
+		bid := w.meta.Ensemble[int(entryID+int64(j))%len(w.meta.Ensemble)]
+		b, ok := w.sys.Bookie(bid)
+		if !ok {
+			continue
+		}
+		if err := b.addEntry(w.ledgerID, entryID, data); err != nil {
+			lastErr = err
+			if errors.Is(err, ErrFenced) {
+				w.closed = true
+				return 0, err
+			}
+			continue
+		}
+		acks++
+	}
+	if acks < w.meta.AckQuorum {
+		return 0, fmt.Errorf("%w: %d/%d acks (%v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr)
+	}
+	w.next++
+	return entryID, nil
+}
+
+// Close seals the ledger, recording the last entry id in metadata.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	w.closed = true
+	w.meta.Closed = true
+	w.meta.LastEntry = w.next - 1
+	raw, _ := json.Marshal(w.meta)
+	_, err := w.sys.meta.Set(metaPath(w.ledgerID), raw, coord.AnyVersion)
+	return err
+}
+
+// Reader reads a closed ledger.
+type Reader struct {
+	sys      *System
+	ledgerID int64
+	meta     metadata
+	// cold holds the ledger's entries when it was opened from the blob
+	// tier (OpenTiered on an offloaded ledger).
+	cold [][]byte
+}
+
+// OpenReader opens a closed ledger for reading. Opening a still-open ledger
+// returns ErrNotClosed; use Recover for crashed writers.
+func (s *System) OpenReader(ledgerID int64) (*Reader, error) {
+	md, err := s.loadMeta(ledgerID)
+	if err != nil {
+		return nil, err
+	}
+	if !md.Closed {
+		return nil, fmt.Errorf("%w: ledger %d", ErrNotClosed, ledgerID)
+	}
+	return &Reader{sys: s, ledgerID: ledgerID, meta: md}, nil
+}
+
+// LastEntry returns the id of the final entry (-1 for an empty ledger).
+func (r *Reader) LastEntry() int64 { return r.meta.LastEntry }
+
+// Read returns entry entryID, trying each replica until a live bookie
+// serves it.
+func (r *Reader) Read(entryID int64) ([]byte, error) {
+	if entryID < 0 || entryID > r.meta.LastEntry {
+		return nil, fmt.Errorf("%w: %d (last is %d)", ErrNoEntry, entryID, r.meta.LastEntry)
+	}
+	r.sys.clock.Sleep(r.sys.ReadLatency)
+	var lastErr error
+	for j := 0; j < r.meta.WriteQuorum; j++ {
+		bid := r.meta.Ensemble[int(entryID+int64(j))%len(r.meta.Ensemble)]
+		b, ok := r.sys.Bookie(bid)
+		if !ok {
+			continue
+		}
+		data, err := b.readEntry(r.ledgerID, entryID)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ledger %d entry %d unreadable: %w", r.ledgerID, entryID, lastErr)
+}
+
+// ReadAll returns every entry in order.
+func (r *Reader) ReadAll() ([][]byte, error) {
+	out := make([][]byte, 0, r.meta.LastEntry+1)
+	for e := int64(0); e <= r.meta.LastEntry; e++ {
+		data, err := r.Read(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// Recover handles a crashed writer: it fences the ledger on every reachable
+// ensemble bookie (so the old writer can no longer append), determines the
+// last entry that reached the ack quorum, seals the metadata, and returns a
+// Reader. Recovering an already-closed ledger just opens it.
+func (s *System) Recover(ledgerID int64) (*Reader, error) {
+	md, err := s.loadMeta(ledgerID)
+	if err != nil {
+		return nil, err
+	}
+	if md.Closed {
+		return &Reader{sys: s, ledgerID: ledgerID, meta: md}, nil
+	}
+	// Fence and collect per-bookie last-entry ids.
+	reachable := 0
+	var lasts []int64
+	for _, bid := range md.Ensemble {
+		b, ok := s.Bookie(bid)
+		if !ok {
+			continue
+		}
+		last, err := b.fence(ledgerID)
+		if err != nil {
+			continue
+		}
+		reachable++
+		lasts = append(lasts, last)
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("%w: no ensemble bookie reachable for recovery", ErrNotEnough)
+	}
+	// An entry is recoverable if some reachable bookie holds it. Walk
+	// forward from -1: the last recoverable entry is the max id for which
+	// at least one bookie reports last ≥ id AND the entry is actually
+	// readable from a replica. (Entries past the last acked one may exist
+	// on a minority; BookKeeper recovers them too — anything readable is
+	// kept, which preserves the "acked entries are never lost" guarantee.)
+	sort.Slice(lasts, func(i, j int) bool { return lasts[i] < lasts[j] })
+	maxSeen := lasts[len(lasts)-1]
+	lastEntry := int64(-1)
+	probe := Reader{sys: s, ledgerID: ledgerID, meta: metadata{
+		Ensemble: md.Ensemble, WriteQuorum: md.WriteQuorum, AckQuorum: md.AckQuorum, Closed: true, LastEntry: maxSeen,
+	}}
+	for e := int64(0); e <= maxSeen; e++ {
+		if _, err := probe.Read(e); err != nil {
+			break
+		}
+		lastEntry = e
+	}
+	md.Closed = true
+	md.LastEntry = lastEntry
+	raw, _ := json.Marshal(md)
+	if _, err := s.meta.Set(metaPath(ledgerID), raw, coord.AnyVersion); err != nil {
+		return nil, err
+	}
+	return &Reader{sys: s, ledgerID: ledgerID, meta: md}, nil
+}
+
+// DeleteLedger removes a ledger's entries from all bookies and its metadata.
+func (s *System) DeleteLedger(ledgerID int64) error {
+	if _, err := s.loadMeta(ledgerID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	bookies := make([]*Bookie, 0, len(s.order))
+	for _, id := range s.order {
+		bookies = append(bookies, s.bookies[id])
+	}
+	s.mu.Unlock()
+	for _, b := range bookies {
+		b.deleteLedger(ledgerID)
+	}
+	return s.meta.Delete(metaPath(ledgerID), coord.AnyVersion)
+}
+
+func (s *System) loadMeta(ledgerID int64) (metadata, error) {
+	raw, _, err := s.meta.Get(metaPath(ledgerID))
+	if err != nil {
+		return metadata{}, fmt.Errorf("%w: %d", ErrNoLedger, ledgerID)
+	}
+	var md metadata
+	if err := json.Unmarshal(raw, &md); err != nil {
+		return metadata{}, err
+	}
+	return md, nil
+}
+
+func metaPath(id int64) string { return fmt.Sprintf("%s/%d", metaRoot, id) }

@@ -1,0 +1,141 @@
+// Package mlserve implements the machine-learning workloads of §5.2:
+// data-parallel model training with flat and hierarchical parameter servers
+// ([94]), hyperparameter search by concurrent function invocation ([186],
+// Seneca), straggler-resilient coded computation ([104],[132]), and model
+// inference serving with a tiered model store that mitigates cold-start
+// loading ([88], TrIMS; [112]).
+package mlserve
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dataset is a binary-classification dataset for logistic regression.
+type Dataset struct {
+	X [][]float64 // n × d features
+	Y []float64   // labels in {0,1}
+	// TrueW is the generating weight vector (for diagnostics).
+	TrueW []float64
+}
+
+// SyntheticLogistic generates n examples of dimension d from a random true
+// weight vector, deterministic under seed. Labels are sampled from the true
+// logistic probability, so the Bayes-optimal accuracy is well below 1 but a
+// good fit beats chance comfortably.
+func SyntheticLogistic(n, d int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 2
+	}
+	ds := Dataset{X: make([][]float64, n), Y: make([]float64, n), TrueW: w}
+	for i := 0; i < n; i++ {
+		x := make([]float64, d)
+		dot := 0.0
+		for j := 0; j < d; j++ {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * w[j]
+		}
+		ds.X[i] = x
+		if rng.Float64() < sigmoid(dot) {
+			ds.Y[i] = 1
+		}
+	}
+	return ds
+}
+
+// Split divides the dataset into a training prefix holding frac of the
+// examples and a held-out remainder (both from the same generating
+// distribution — the right way to build a validation set).
+func (d Dataset) Split(frac float64) (train, held Dataset) {
+	n := int(float64(len(d.X)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(d.X) {
+		n = len(d.X) - 1
+	}
+	train = Dataset{X: d.X[:n], Y: d.Y[:n], TrueW: d.TrueW}
+	held = Dataset{X: d.X[n:], Y: d.Y[n:], TrueW: d.TrueW}
+	return train, held
+}
+
+// Shard returns the i-th of k contiguous shards.
+func (d Dataset) Shard(i, k int) Dataset {
+	n := len(d.X)
+	lo, hi := i*n/k, (i+1)*n/k
+	return Dataset{X: d.X[lo:hi], Y: d.Y[lo:hi], TrueW: d.TrueW}
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int { return len(d.X) }
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Gradient returns the summed logistic-loss gradient of weights over the
+// dataset (not averaged; callers scale by 1/n).
+func Gradient(d Dataset, w []float64) []float64 {
+	g := make([]float64, len(w))
+	for i, x := range d.X {
+		p := sigmoid(dot(x, w))
+		err := p - d.Y[i]
+		for j := range g {
+			g[j] += err * x[j]
+		}
+	}
+	return g
+}
+
+// LogLoss returns the mean logistic loss of weights over the dataset.
+func LogLoss(d Dataset, w []float64) float64 {
+	var sum float64
+	for i, x := range d.X {
+		p := sigmoid(dot(x, w))
+		// Clamp for numerical safety.
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if d.Y[i] > 0.5 {
+			sum += -math.Log(p)
+		} else {
+			sum += -math.Log(1 - p)
+		}
+	}
+	return sum / float64(len(d.X))
+}
+
+// Accuracy returns the 0/1 accuracy of weights over the dataset.
+func Accuracy(d Dataset, w []float64) float64 {
+	correct := 0
+	for i, x := range d.X {
+		pred := 0.0
+		if sigmoid(dot(x, w)) >= 0.5 {
+			pred = 1
+		}
+		if pred == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.X))
+}
+
+// TrainSerial runs full-batch gradient descent for the given rounds —
+// the single-node baseline the distributed trainer must match.
+func TrainSerial(d Dataset, lr float64, rounds int) []float64 {
+	w := make([]float64, len(d.X[0]))
+	n := float64(d.Len())
+	for r := 0; r < rounds; r++ {
+		g := Gradient(d, w)
+		for j := range w {
+			w[j] -= lr * g[j] / n
+		}
+	}
+	return w
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

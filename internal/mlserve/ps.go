@@ -1,0 +1,129 @@
+package mlserve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Server is a parameter server: it holds the model weights and processes
+// pulls and gradient applications *sequentially*, each costing a modelled
+// service time — the serialization that makes a flat parameter server the
+// bottleneck of data-parallel training as worker counts grow, and that
+// hierarchical aggregation ([94]) alleviates.
+type Server struct {
+	clock   simclock.Clock
+	service time.Duration
+
+	mu      sync.Mutex
+	w       []float64
+	pulls   int64
+	applies int64
+}
+
+// NewServer creates a parameter server with zero-initialized weights of the
+// given dimension and the given per-request service time.
+func NewServer(clock simclock.Clock, dim int, service time.Duration) *Server {
+	return &Server{clock: clock, service: service, w: make([]float64, dim)}
+}
+
+// lockSlow acquires the server's lock in a virtual-clock-aware way: waiting
+// for a busy server counts as blocked, letting simulated time advance.
+func (s *Server) lockSlow() {
+	s.clock.BlockOn(s.mu.Lock)
+}
+
+// Pull returns a copy of the current weights, paying one service time.
+func (s *Server) Pull() []float64 {
+	s.lockSlow()
+	defer s.mu.Unlock()
+	s.clock.Sleep(s.service)
+	s.pulls++
+	return append([]float64{}, s.w...)
+}
+
+// Apply subtracts factor·grad from the weights, paying one service time.
+func (s *Server) Apply(grad []float64, factor float64) {
+	s.lockSlow()
+	defer s.mu.Unlock()
+	s.clock.Sleep(s.service)
+	s.applies++
+	for i := range s.w {
+		s.w[i] -= factor * grad[i]
+	}
+}
+
+// Snapshot returns the weights without paying service time (coordinator
+// bookkeeping, not a modelled network request).
+func (s *Server) Snapshot() []float64 {
+	s.lockSlow()
+	defer s.mu.Unlock()
+	return append([]float64{}, s.w...)
+}
+
+// Stats returns (pulls, applies) processed so far.
+func (s *Server) Stats() (int64, int64) {
+	s.lockSlow()
+	defer s.mu.Unlock()
+	return s.pulls, s.applies
+}
+
+// Pusher accepts worker gradients. Both Server (flat topology) and
+// Aggregator (hierarchical) implement it.
+type Pusher interface {
+	// Push contributes one worker's summed gradient; factor is the
+	// per-worker update scale applied at the root.
+	Push(grad []float64, factor float64)
+}
+
+// Push implements Pusher for the flat topology: every worker pushes straight
+// to the root server.
+func (s *Server) Push(grad []float64, factor float64) {
+	s.Apply(grad, factor)
+}
+
+// Aggregator is one mid-tier node of a hierarchical parameter server: it
+// absorbs fanIn worker pushes (each paying the aggregator's service time,
+// but in parallel across aggregators), then forwards a single combined
+// update to the root.
+type Aggregator struct {
+	clock   simclock.Clock
+	root    *Server
+	fanIn   int
+	service time.Duration
+
+	mu     sync.Mutex
+	acc    []float64
+	factor float64
+	count  int
+}
+
+// NewAggregator creates an aggregator forwarding to root after fanIn pushes.
+func NewAggregator(clock simclock.Clock, root *Server, fanIn int, service time.Duration) *Aggregator {
+	return &Aggregator{clock: clock, root: root, fanIn: fanIn, service: service}
+}
+
+// Push implements Pusher.
+func (a *Aggregator) Push(grad []float64, factor float64) {
+	a.clock.BlockOn(a.mu.Lock)
+	a.clock.Sleep(a.service)
+	if a.acc == nil {
+		a.acc = make([]float64, len(grad))
+	}
+	for i := range grad {
+		a.acc[i] += grad[i]
+	}
+	a.factor = factor
+	a.count++
+	var flush []float64
+	var f float64
+	if a.count >= a.fanIn {
+		flush, f = a.acc, a.factor
+		a.acc, a.count = nil, 0
+	}
+	a.mu.Unlock()
+	if flush != nil {
+		a.root.Apply(flush, f)
+	}
+}

@@ -1,0 +1,391 @@
+package pulsar
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/coord"
+	"repro/internal/ledger"
+)
+
+// Errors returned by the messaging layer.
+var (
+	ErrNoTopic        = errors.New("pulsar: topic does not exist")
+	ErrTopicExists    = errors.New("pulsar: topic already exists")
+	ErrBrokerDown     = errors.New("pulsar: broker is down")
+	ErrExclusiveTaken = errors.New("pulsar: exclusive subscription already has a consumer")
+	ErrNoBroker       = errors.New("pulsar: no live broker available")
+	ErrBadTopicName   = errors.New("pulsar: invalid topic name")
+	ErrConsumerClosed = errors.New("pulsar: consumer is closed")
+)
+
+// inbox is an unbounded per-consumer delivery buffer.
+type inbox struct {
+	mu    sync.Mutex
+	items []Message
+}
+
+func (in *inbox) push(m Message) {
+	in.mu.Lock()
+	in.items = append(in.items, m)
+	in.mu.Unlock()
+}
+
+func (in *inbox) pop() (Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.items) == 0 {
+		return Message{}, false
+	}
+	m := in.items[0]
+	in.items = in.items[1:]
+	return m, true
+}
+
+// consumerReg is a consumer's registration on a broker-side subscription.
+type consumerReg struct {
+	id    int64
+	inbox *inbox
+}
+
+// subscription is the broker-side durable cursor plus attached consumers.
+type subscription struct {
+	topicName string
+	name      string
+	mode      SubMode
+
+	ackedPrefix  int64           // every seq < ackedPrefix is acked
+	acks         map[int64]bool  // out-of-order acks beyond the prefix
+	pending      map[int64]int64 // delivered unacked: seq → consumer id
+	redeliver    []int64         // seqs queued for redelivery
+	nextDispatch int64           // next fresh seq to dispatch
+	consumers    []*consumerReg
+	rr           int // round-robin pointer for Shared
+}
+
+type ledgerRange struct {
+	ID       int64 `json:"id"`
+	StartSeq int64 `json:"start_seq"`
+}
+
+// topicState is a broker's in-memory state for a topic it owns.
+type topicState struct {
+	name    string
+	writer  *ledger.Writer
+	ranges  []ledgerRange
+	cache   []Message // all messages, indexed by seq
+	nextSeq int64
+	subs    map[string]*subscription
+}
+
+// Broker is the stateless message-serving component of Figure 1: it
+// receives, stores (via the ledger layer) and dispatches messages for the
+// topics whose ownership it holds in the coordination service.
+type Broker struct {
+	ID      string
+	cluster *Cluster
+	session coord.SessionID
+
+	mu     sync.Mutex
+	topics map[string]*topicState
+	down   bool
+}
+
+// SetDown injects or clears a broker crash. Going down releases all topic
+// ownership (the coordination session closes, deleting ephemeral owner
+// nodes), so surviving brokers can take the topics over.
+func (b *Broker) SetDown(down bool) {
+	b.mu.Lock()
+	b.down = down
+	b.topics = map[string]*topicState{}
+	b.mu.Unlock()
+	if down {
+		b.cluster.meta.CloseSession(b.session)
+	} else {
+		b.session = b.cluster.meta.NewSession(0)
+	}
+}
+
+// Down reports whether the broker is crashed.
+func (b *Broker) Down() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down
+}
+
+// publish appends a message durably and dispatches it to subscribers.
+func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return 0, fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	}
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q not owned by %s", ErrNoTopic, topicName, b.ID)
+	}
+	m := Message{
+		Seq:         ts.nextSeq,
+		Key:         key,
+		Payload:     append([]byte(nil), payload...),
+		PublishTime: b.cluster.clock.Now(),
+		Topic:       topicName,
+	}
+	if _, err := ts.writer.Append(encodeMessage(m)); err != nil {
+		return 0, err
+	}
+	ts.nextSeq++
+	ts.cache = append(ts.cache, m)
+	for _, sub := range ts.subs {
+		b.dispatchLocked(ts, sub)
+	}
+	return m.Seq, nil
+}
+
+// subscribe creates the durable subscription if needed and attaches the
+// consumer, triggering backlog dispatch.
+func (b *Broker) subscribe(topicName, subName string, mode SubMode, pos InitialPosition, reg *consumerReg) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	}
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return fmt.Errorf("%w: %q not owned by %s", ErrNoTopic, topicName, b.ID)
+	}
+	sub, ok := ts.subs[subName]
+	if !ok {
+		start := int64(0)
+		if pos == Latest {
+			start = ts.nextSeq
+		}
+		sub = &subscription{
+			topicName:    topicName,
+			name:         subName,
+			mode:         mode,
+			ackedPrefix:  start,
+			acks:         map[int64]bool{},
+			pending:      map[int64]int64{},
+			nextDispatch: start,
+		}
+		ts.subs[subName] = sub
+		b.cluster.persistCursor(sub)
+	}
+	if sub.mode == Exclusive && len(sub.consumers) > 0 {
+		return fmt.Errorf("%w: %s/%s", ErrExclusiveTaken, topicName, subName)
+	}
+	for _, c := range sub.consumers {
+		if c.id == reg.id {
+			return nil // already attached (idempotent re-attach)
+		}
+	}
+	sub.consumers = append(sub.consumers, reg)
+	b.dispatchLocked(ts, sub)
+	return nil
+}
+
+// detach removes a consumer; its pending messages are queued for redelivery.
+func (b *Broker) detach(topicName, subName string, consumerID int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return
+	}
+	sub, ok := ts.subs[subName]
+	if !ok {
+		return
+	}
+	kept := sub.consumers[:0]
+	for _, c := range sub.consumers {
+		if c.id != consumerID {
+			kept = append(kept, c)
+		}
+	}
+	sub.consumers = kept
+	sub.rr = 0
+	var orphans []int64
+	for seq, cid := range sub.pending {
+		if cid == consumerID {
+			orphans = append(orphans, seq)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, seq := range orphans {
+		delete(sub.pending, seq)
+		sub.redeliver = append(sub.redeliver, seq)
+	}
+	b.dispatchLocked(ts, sub)
+}
+
+// ack marks a message consumed and advances the durable cursor.
+func (b *Broker) ack(topicName, subName string, seq int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	}
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTopic, topicName)
+	}
+	sub, ok := ts.subs[subName]
+	if !ok {
+		return fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)
+	}
+	if seq < sub.ackedPrefix {
+		return nil
+	}
+	delete(sub.pending, seq)
+	sub.acks[seq] = true
+	advanced := false
+	for sub.acks[sub.ackedPrefix] {
+		delete(sub.acks, sub.ackedPrefix)
+		sub.ackedPrefix++
+		advanced = true
+	}
+	if advanced {
+		b.cluster.persistCursor(sub)
+	}
+	return nil
+}
+
+// dispatchLocked delivers redeliveries and fresh messages to consumers per
+// the subscription mode. Called with b.mu held.
+func (b *Broker) dispatchLocked(ts *topicState, sub *subscription) {
+	if len(sub.consumers) == 0 {
+		return
+	}
+	// Redeliveries first (preserving rough order), then fresh messages.
+	for len(sub.redeliver) > 0 {
+		seq := sub.redeliver[0]
+		sub.redeliver = sub.redeliver[1:]
+		b.deliverLocked(ts, sub, seq)
+	}
+	for sub.nextDispatch < ts.nextSeq {
+		seq := sub.nextDispatch
+		sub.nextDispatch++
+		if seq < sub.ackedPrefix || sub.acks[seq] {
+			continue // already consumed (e.g. cursor moved by recovery)
+		}
+		b.deliverLocked(ts, sub, seq)
+	}
+}
+
+func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64) {
+	m := ts.cache[seq]
+	var target *consumerReg
+	switch sub.mode {
+	case Exclusive, Failover:
+		target = sub.consumers[0]
+	case Shared:
+		target = sub.consumers[sub.rr%len(sub.consumers)]
+		sub.rr++
+	case KeyShared:
+		h := fnv.New32a()
+		h.Write([]byte(m.Key))
+		target = sub.consumers[int(h.Sum32())%len(sub.consumers)]
+	}
+	sub.pending[seq] = target.id
+	target.inbox.push(m)
+}
+
+// loadTopic recovers a topic's state onto this broker after it acquires
+// ownership: previous ledgers are recovered (fencing any zombie writer), the
+// message cache is rebuilt, a fresh ledger is opened for new appends, and
+// durable subscription cursors are restored. Unacked messages redeliver on
+// the next consumer attach (at-least-once).
+func (b *Broker) loadTopic(topicName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down {
+		return fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	}
+	if _, ok := b.topics[topicName]; ok {
+		return nil
+	}
+	c := b.cluster
+
+	ids, err := c.topicLedgers(topicName)
+	if err != nil {
+		return err
+	}
+	ts := &topicState{name: topicName, subs: map[string]*subscription{}}
+	for _, id := range ids {
+		r, err := c.ledgers.Recover(id)
+		if err != nil {
+			return err
+		}
+		ts.ranges = append(ts.ranges, ledgerRange{ID: id, StartSeq: ts.nextSeq})
+		entries, err := r.ReadAll()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			m, err := decodeMessage(e)
+			if err != nil {
+				return err
+			}
+			m.Seq = ts.nextSeq // authoritative position
+			ts.cache = append(ts.cache, m)
+			ts.nextSeq++
+		}
+	}
+	w, err := c.ledgers.CreateLedger(c.cfg.EnsembleSize, c.cfg.WriteQuorum, c.cfg.AckQuorum)
+	if err != nil {
+		return err
+	}
+	ts.writer = w
+	ts.ranges = append(ts.ranges, ledgerRange{ID: w.ID(), StartSeq: ts.nextSeq})
+	if err := c.setTopicLedgers(topicName, append(ids, w.ID())); err != nil {
+		return err
+	}
+
+	// Restore durable subscriptions.
+	subs, err := c.topicSubscriptions(topicName)
+	if err != nil {
+		return err
+	}
+	for name, cur := range subs {
+		ts.subs[name] = &subscription{
+			topicName:    topicName,
+			name:         name,
+			mode:         cur.Mode,
+			ackedPrefix:  cur.AckedPrefix,
+			acks:         map[int64]bool{},
+			pending:      map[int64]int64{},
+			nextDispatch: cur.AckedPrefix,
+		}
+	}
+	b.topics[topicName] = ts
+	return nil
+}
+
+// backlog returns how many messages a subscription has yet to ack.
+func (b *Broker) backlog(topicName, subName string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, topicName)
+	}
+	sub, ok := ts.subs[subName]
+	if !ok {
+		return 0, fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)
+	}
+	return ts.nextSeq - sub.ackedPrefix - int64(len(sub.acks)), nil
+}
+
+// cursorRecord is the durable per-subscription state in the coordination
+// service.
+type cursorRecord struct {
+	Mode        SubMode `json:"mode"`
+	AckedPrefix int64   `json:"acked_prefix"`
+}
+
+func encodeCursor(c cursorRecord) []byte { b, _ := json.Marshal(c); return b }

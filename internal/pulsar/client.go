@@ -1,0 +1,205 @@
+package pulsar
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Producer publishes messages to a topic (routing across partitions for
+// partitioned topics: by key hash when a key is given, round-robin
+// otherwise).
+type Producer struct {
+	c          *Cluster
+	topic      string
+	partitions int
+	rr         int64
+}
+
+// CreateProducer opens a producer for an existing topic.
+func (c *Cluster) CreateProducer(topic string) (*Producer, error) {
+	parts, err := c.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{c: c, topic: topic, partitions: parts}, nil
+}
+
+// Send publishes an unkeyed message and returns its sequence number within
+// its partition.
+func (p *Producer) Send(payload []byte) (int64, error) {
+	return p.SendKey("", payload)
+}
+
+// SendKey publishes a keyed message. Keyed messages on partitioned topics
+// always route to the same partition, preserving per-key order.
+func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
+	t := p.route(key)
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		b, _, err := p.c.ensureOwner(t)
+		if err != nil {
+			return 0, err
+		}
+		seq, err := b.publish(t, key, payload)
+		if err == nil {
+			p.c.meterPublish()
+			return seq, nil
+		}
+		lastErr = err
+		// The owner may have died between lookup and publish; re-resolve.
+		if !errors.Is(err, ErrBrokerDown) && !errors.Is(err, ErrNoTopic) {
+			return 0, err
+		}
+	}
+	return 0, lastErr
+}
+
+func (p *Producer) route(key string) string {
+	if p.partitions <= 0 {
+		return p.topic
+	}
+	var idx int
+	if key != "" {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		idx = int(h.Sum32()) % p.partitions
+	} else {
+		idx = int(atomic.AddInt64(&p.rr, 1)-1) % p.partitions
+	}
+	return fmt.Sprintf("%s-partition-%d", p.topic, idx)
+}
+
+// Consumer receives messages from a subscription. For partitioned topics it
+// consumes a merged stream across all partitions. Consumers poll their inbox
+// on the cluster clock, transparently re-attaching after broker failovers.
+type Consumer struct {
+	c    *Cluster
+	name string // topic
+	sub  string
+	mode SubMode
+	pos  InitialPosition
+	id   int64
+
+	inbox    *inbox
+	concrete []string
+
+	mu     sync.Mutex
+	epochs map[string]int64
+	closed bool
+}
+
+// receivePoll is the consumer's inbox polling interval.
+const receivePoll = time.Millisecond
+
+// Subscribe attaches a new consumer to (creating if needed) the named
+// durable subscription.
+func (c *Cluster) Subscribe(topic, subName string, mode SubMode, pos InitialPosition) (*Consumer, error) {
+	parts, err := c.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextConsumer++
+	id := c.nextConsumer
+	c.mu.Unlock()
+	cons := &Consumer{
+		c:        c,
+		name:     topic,
+		sub:      subName,
+		mode:     mode,
+		pos:      pos,
+		id:       id,
+		inbox:    &inbox{},
+		concrete: c.concreteTopics(topic, parts),
+		epochs:   map[string]int64{},
+	}
+	if err := cons.ensureAttached(); err != nil {
+		return nil, err
+	}
+	return cons, nil
+}
+
+// ensureAttached (re-)subscribes on every partition whose ownership epoch
+// changed since the consumer last attached.
+func (cons *Consumer) ensureAttached() error {
+	cons.mu.Lock()
+	defer cons.mu.Unlock()
+	if cons.closed {
+		return ErrConsumerClosed
+	}
+	for _, t := range cons.concrete {
+		b, ep, err := cons.c.ensureOwner(t)
+		if err != nil {
+			return err
+		}
+		if cons.epochs[t] == ep {
+			continue
+		}
+		reg := &consumerReg{id: cons.id, inbox: cons.inbox}
+		if err := b.subscribe(t, cons.sub, cons.mode, cons.pos, reg); err != nil {
+			return err
+		}
+		cons.epochs[t] = ep
+	}
+	return nil
+}
+
+// TryReceive returns a buffered message without waiting.
+func (cons *Consumer) TryReceive() (Message, bool) {
+	if m, ok := cons.inbox.pop(); ok {
+		return m, true
+	}
+	// Empty inbox: the owner may have changed; re-attach and retry once.
+	if err := cons.ensureAttached(); err != nil {
+		return Message{}, false
+	}
+	return cons.inbox.pop()
+}
+
+// Receive waits up to timeout (on the cluster clock) for a message. The
+// boolean reports whether a message arrived.
+func (cons *Consumer) Receive(timeout time.Duration) (Message, bool) {
+	deadline := cons.c.clock.Now().Add(timeout)
+	for {
+		if m, ok := cons.TryReceive(); ok {
+			return m, true
+		}
+		if cons.c.clock.Now().After(deadline) {
+			return Message{}, false
+		}
+		cons.c.clock.Sleep(receivePoll)
+	}
+}
+
+// Ack marks a message consumed, advancing the subscription's durable cursor.
+func (cons *Consumer) Ack(m Message) error {
+	b, _, err := cons.c.ensureOwner(m.Topic)
+	if err != nil {
+		return err
+	}
+	return b.ack(m.Topic, cons.sub, m.Seq)
+}
+
+// Close detaches the consumer; its unacked messages redeliver to surviving
+// consumers on the subscription.
+func (cons *Consumer) Close() {
+	cons.mu.Lock()
+	if cons.closed {
+		cons.mu.Unlock()
+		return
+	}
+	cons.closed = true
+	concrete := append([]string{}, cons.concrete...)
+	cons.mu.Unlock()
+	for _, t := range concrete {
+		if data, held := cons.c.meta.LockHolder("/pulsar/owners/" + t); held {
+			if b, ok := cons.c.Broker(string(data)); ok {
+				b.detach(t, cons.sub, cons.id)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package pulsar
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/internal/billing"
+	"repro/internal/coord"
+	"repro/internal/ledger"
+	"repro/internal/simclock"
+)
+
+// ClusterConfig parameterizes a cluster.
+type ClusterConfig struct {
+	// EnsembleSize/WriteQuorum/AckQuorum configure each topic ledger's
+	// replication (defaults 3/2/2).
+	EnsembleSize int
+	WriteQuorum  int
+	AckQuorum    int
+	// Tenant is billed for publishes. Default "pulsar".
+	Tenant string
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.EnsembleSize == 0 {
+		c.EnsembleSize = 3
+	}
+	if c.WriteQuorum == 0 {
+		c.WriteQuorum = 2
+	}
+	if c.AckQuorum == 0 {
+		c.AckQuorum = 2
+	}
+	if c.Tenant == "" {
+		c.Tenant = "pulsar"
+	}
+	return c
+}
+
+// Cluster is a Pulsar deployment: brokers plus the bookie ensemble and the
+// coordination service of Figure 1.
+type Cluster struct {
+	clock   simclock.Clock
+	meta    *coord.Store
+	ledgers *ledger.System
+	meter   *billing.Meter
+	cfg     ClusterConfig
+
+	mu           sync.Mutex
+	brokers      map[string]*Broker
+	brokerOrder  []string
+	epochs       map[string]int64 // concrete topic → ownership epoch
+	nextConsumer int64
+}
+
+// NewCluster creates a cluster. meter may be nil.
+func NewCluster(clock simclock.Clock, meta *coord.Store, ledgers *ledger.System, meter *billing.Meter, cfg ClusterConfig) *Cluster {
+	for _, p := range []string{"/pulsar", "/pulsar/topics", "/pulsar/subs", "/pulsar/owners"} {
+		_ = meta.EnsurePath(p)
+	}
+	return &Cluster{
+		clock:   clock,
+		meta:    meta,
+		ledgers: ledgers,
+		meter:   meter,
+		cfg:     cfg.withDefaults(),
+		brokers: map[string]*Broker{},
+		epochs:  map[string]int64{},
+	}
+}
+
+// AddBroker registers and starts a broker.
+func (c *Cluster) AddBroker(id string) *Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := &Broker{
+		ID:      id,
+		cluster: c,
+		session: c.meta.NewSession(0),
+		topics:  map[string]*topicState{},
+	}
+	if _, ok := c.brokers[id]; !ok {
+		c.brokerOrder = append(c.brokerOrder, id)
+	}
+	c.brokers[id] = b
+	return b
+}
+
+// Broker returns a broker by id.
+func (c *Cluster) Broker(id string) (*Broker, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.brokers[id]
+	return b, ok
+}
+
+// CreateTopic declares a topic. partitions == 0 creates a plain topic;
+// partitions > 0 creates that many partition topics addressed as one.
+func (c *Cluster) CreateTopic(name string, partitions int) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("%w: %q", ErrBadTopicName, name)
+	}
+	md, _ := json.Marshal(struct {
+		Partitions int `json:"partitions"`
+	}{partitions})
+	if err := c.meta.Create("/pulsar/topics/"+name, md, coord.Persistent, 0); err != nil {
+		if errors.Is(err, coord.ErrNodeExists) {
+			return fmt.Errorf("%w: %q", ErrTopicExists, name)
+		}
+		return err
+	}
+	for _, t := range c.concreteTopics(name, partitions) {
+		if t != name {
+			if err := c.meta.Create("/pulsar/topics/"+t, []byte(`{"partitions":0}`), coord.Persistent, 0); err != nil {
+				return err
+			}
+		}
+		if err := c.meta.EnsurePath("/pulsar/subs/" + t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions returns a topic's partition count (0 for plain topics).
+func (c *Cluster) Partitions(name string) (int, error) {
+	raw, _, err := c.meta.Get("/pulsar/topics/" + name)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, name)
+	}
+	var md struct {
+		Partitions int `json:"partitions"`
+	}
+	if err := json.Unmarshal(raw, &md); err != nil {
+		return 0, err
+	}
+	return md.Partitions, nil
+}
+
+func (c *Cluster) concreteTopics(name string, partitions int) []string {
+	if partitions <= 0 {
+		return []string{name}
+	}
+	out := make([]string, partitions)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-partition-%d", name, i)
+	}
+	return out
+}
+
+// ensureOwner returns the broker owning the concrete topic, electing one
+// (and running topic recovery on it) if the topic is unowned or its owner is
+// down. It also returns the ownership epoch, which clients use to detect
+// failovers.
+func (c *Cluster) ensureOwner(topic string) (*Broker, int64, error) {
+	lockPath := "/pulsar/owners/" + topic
+	for attempt := 0; attempt < 8; attempt++ {
+		if data, held := c.meta.LockHolder(lockPath); held {
+			id := string(data)
+			b, ok := c.Broker(id)
+			if ok && !b.Down() {
+				c.mu.Lock()
+				ep := c.epochs[topic]
+				c.mu.Unlock()
+				return b, ep, nil
+			}
+			// Owner is gone or down: break the stale lock.
+			c.meta.Release(lockPath)
+		}
+		cand := c.pickBroker(topic)
+		if cand == nil {
+			return nil, 0, ErrNoBroker
+		}
+		ok, err := c.meta.TryAcquire(lockPath, []byte(cand.ID), cand.session)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			continue // raced with another acquirer; retry lookup
+		}
+		if err := cand.loadTopic(topic); err != nil {
+			c.meta.Release(lockPath)
+			return nil, 0, err
+		}
+		c.mu.Lock()
+		c.epochs[topic]++
+		ep := c.epochs[topic]
+		c.mu.Unlock()
+		return cand, ep, nil
+	}
+	return nil, 0, fmt.Errorf("pulsar: ownership of %q could not be established", topic)
+}
+
+// pickBroker hashes the topic onto the live brokers for stable assignment.
+func (c *Cluster) pickBroker(topic string) *Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []*Broker
+	for _, id := range c.brokerOrder {
+		if b := c.brokers[id]; !b.down {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	h := fnv.New32a()
+	h.Write([]byte(topic))
+	return live[int(h.Sum32())%len(live)]
+}
+
+// --- metadata helpers ---
+
+func (c *Cluster) topicLedgers(topic string) ([]int64, error) {
+	path := "/pulsar/topics/" + topic + "/ledgers"
+	raw, _, err := c.meta.Get(path)
+	if errors.Is(err, coord.ErrNoNode) {
+		if !c.meta.Exists("/pulsar/topics/" + topic) {
+			return nil, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+		}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []int64
+	if err := json.Unmarshal(raw, &ids); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (c *Cluster) setTopicLedgers(topic string, ids []int64) error {
+	path := "/pulsar/topics/" + topic + "/ledgers"
+	raw, _ := json.Marshal(ids)
+	if !c.meta.Exists(path) {
+		return c.meta.Create(path, raw, coord.Persistent, 0)
+	}
+	_, err := c.meta.Set(path, raw, coord.AnyVersion)
+	return err
+}
+
+func (c *Cluster) topicSubscriptions(topic string) (map[string]cursorRecord, error) {
+	base := "/pulsar/subs/" + topic
+	if !c.meta.Exists(base) {
+		return nil, nil
+	}
+	names, err := c.meta.Children(base)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]cursorRecord{}
+	for _, n := range names {
+		raw, _, err := c.meta.Get(base + "/" + n)
+		if err != nil {
+			continue
+		}
+		var cur cursorRecord
+		if err := json.Unmarshal(raw, &cur); err != nil {
+			continue
+		}
+		out[n] = cur
+	}
+	return out, nil
+}
+
+func (c *Cluster) persistCursor(sub *subscription) {
+	base := "/pulsar/subs/" + sub.topicName
+	_ = c.meta.EnsurePath(base)
+	path := base + "/" + sub.name
+	raw := encodeCursor(cursorRecord{Mode: sub.mode, AckedPrefix: sub.ackedPrefix})
+	if !c.meta.Exists(path) {
+		_ = c.meta.Create(path, raw, coord.Persistent, 0)
+		return
+	}
+	_, _ = c.meta.Set(path, raw, coord.AnyVersion)
+}
+
+func (c *Cluster) meterPublish() {
+	if c.meter != nil {
+		c.meter.Add(billing.Record{Tenant: c.cfg.Tenant, Resource: billing.ResMsgPublish, Units: 1, At: c.clock.Now()})
+	}
+}
+
+// Backlog returns the unacked message count for a subscription on a plain
+// topic, or the sum across partitions for a partitioned topic.
+func (c *Cluster) Backlog(topic, subName string) (int64, error) {
+	parts, err := c.Partitions(topic)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, t := range c.concreteTopics(topic, parts) {
+		b, _, err := c.ensureOwner(t)
+		if err != nil {
+			return 0, err
+		}
+		n, err := b.backlog(t, subName)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,83 @@
+// Package pulsar implements the enterprise-grade messaging system of §4.3
+// (Figure 1): stateless brokers that acquire topic ownership through the
+// coordination service, durable message storage on BookKeeper-style ledgers,
+// partitioned topics, and one unified API generalizing queuing and
+// publish-subscribe via subscription modes (exclusive, shared, failover,
+// key-shared). §4.3.1's Pulsar Functions — serverless functions consuming
+// from and publishing to topics, with per-key state — live in functions.go.
+package pulsar
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Message is one payload published to a topic.
+type Message struct {
+	// Seq is the message's position in its topic (0-based, contiguous).
+	Seq int64 `json:"seq"`
+	// Key is the optional routing/compaction key.
+	Key string `json:"key,omitempty"`
+	// Payload is the message body.
+	Payload []byte `json:"payload"`
+	// PublishTime is when the broker accepted the message.
+	PublishTime time.Time `json:"publish_time"`
+	// Topic is the concrete (partition) topic the message lives on.
+	Topic string `json:"topic"`
+}
+
+func encodeMessage(m Message) []byte {
+	b, _ := json.Marshal(m)
+	return b
+}
+
+func decodeMessage(b []byte) (Message, error) {
+	var m Message
+	err := json.Unmarshal(b, &m)
+	return m, err
+}
+
+// SubMode selects a subscription's dispatch semantics (§4.3: Pulsar
+// generalizes queuing and pub-sub through one messaging API).
+type SubMode int
+
+const (
+	// Exclusive allows a single consumer, receiving every message.
+	Exclusive SubMode = iota
+	// Shared distributes messages round-robin across consumers (queuing
+	// semantics).
+	Shared
+	// Failover delivers every message to the first live consumer,
+	// switching on its departure.
+	Failover
+	// KeyShared distributes messages across consumers by key hash,
+	// preserving per-key order.
+	KeyShared
+)
+
+// String returns the mode's name.
+func (m SubMode) String() string {
+	switch m {
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case Failover:
+		return "failover"
+	case KeyShared:
+		return "key-shared"
+	default:
+		return "unknown"
+	}
+}
+
+// InitialPosition selects where a brand-new subscription starts.
+type InitialPosition int
+
+const (
+	// Latest delivers only messages published after the subscription is
+	// created.
+	Latest InitialPosition = iota
+	// Earliest replays the topic's full backlog.
+	Earliest
+)

@@ -1,0 +1,119 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTenantDedicatedZeroExposure(t *testing.T) {
+	c := NewCluster(machineCap, TenantDedicated{})
+	for i := 0; i < 24; i++ {
+		tenant := fmt.Sprintf("t%d", i%4)
+		if _, err := c.PlaceTenant(fmt.Sprintf("i%d", i), tenant, Resources{CPU: 900}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CrossTenantPairs(); got != 0 {
+		t.Fatalf("cross-tenant pairs = %d, want 0", got)
+	}
+	// Each tenant's 6 instances need 2 machines (4 per machine) → 8 total.
+	if got := c.ActiveMachines(); got != 8 {
+		t.Fatalf("machines = %d, want 8", got)
+	}
+}
+
+func TestTenantDedicatedReusesEmptyMachines(t *testing.T) {
+	c := NewCluster(machineCap, TenantDedicated{})
+	if _, err := c.PlaceTenant("a1", "a", Resources{CPU: 900}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("a1"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.PlaceTenant("b1", "b", Resources{CPU: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine != 0 {
+		t.Fatalf("empty machine not reused: placed on %d", p.Machine)
+	}
+}
+
+func TestCrossTenantPairsCounting(t *testing.T) {
+	c := NewCluster(machineCap, FirstFit{})
+	// Machine 0: 2 of tenant A + 1 of tenant B → 2 cross pairs.
+	for i, tenant := range []string{"a", "a", "b"} {
+		if _, err := c.PlaceTenant(fmt.Sprintf("i%d", i), tenant, Resources{CPU: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CrossTenantPairs(); got != 2 {
+		t.Fatalf("pairs = %d, want 2", got)
+	}
+	// Removing the B instance zeroes exposure.
+	if err := c.Release("i2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CrossTenantPairs(); got != 0 {
+		t.Fatalf("pairs after release = %d", got)
+	}
+}
+
+func TestContendersOf(t *testing.T) {
+	c := NewCluster(machineCap, FirstFit{})
+	cpu := Resources{CPU: 1000, MemMB: 100}
+	mem := Resources{CPU: 10, MemMB: 8000}
+	mustPlace(t, c, "c1", cpu)
+	mustPlace(t, c, "c2", cpu)
+	mustPlace(t, c, "m1", mem)
+	if got := c.ContendersOf("c1"); got != 1 {
+		t.Fatalf("c1 contenders = %d, want 1", got)
+	}
+	if got := c.ContendersOf("m1"); got != 0 {
+		t.Fatalf("m1 contenders = %d, want 0", got)
+	}
+	if got := c.ContendersOf("ghost"); got != 0 {
+		t.Fatalf("unknown instance contenders = %d", got)
+	}
+}
+
+func TestGrowPrebuildsFleet(t *testing.T) {
+	c := NewCluster(machineCap, WorstFit{})
+	c.Grow(4)
+	if got := len(c.Machines()); got != 4 {
+		t.Fatalf("machines = %d", got)
+	}
+	// WorstFit now spreads across the pre-built fleet.
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		p, err := c.Place(fmt.Sprintf("i%d", i), Resources{CPU: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Machine] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("worst-fit did not spread: %v", seen)
+	}
+}
+
+func TestPolicyChoosingUnfitMachineRejected(t *testing.T) {
+	c := NewCluster(machineCap, badPolicy{})
+	if _, err := c.Place("a", Resources{CPU: 4000}); err != nil {
+		t.Fatal(err) // first placement creates machine 0
+	}
+	// badPolicy keeps answering machine 0, which is now full.
+	if _, err := c.Place("b", Resources{CPU: 4000}); err == nil {
+		t.Fatal("placement on a full machine should error")
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Choose(machines []*Machine, _ Resources, _ string) int {
+	if len(machines) == 0 {
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bloom is a Bloom filter: set membership with no false negatives and a
+// tunable false-positive rate.
+type Bloom struct {
+	bits  []uint64
+	m     uint64 // bit count
+	k     int    // hash count
+	count uint64 // elements added (approximate if duplicates)
+}
+
+// NewBloom sizes a filter for n expected elements at false-positive rate p.
+func NewBloom(n int, p float64) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key string) {
+	for i := 0; i < b.k; i++ {
+		bit := hashAt(key, i) % b.m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.count++
+}
+
+// Contains reports whether key may be in the set (false = definitely not).
+func (b *Bloom) Contains(key string) bool {
+	for i := 0; i < b.k; i++ {
+		bit := hashAt(key, i) % b.m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge ORs another filter into this one (same parameters required).
+func (b *Bloom) Merge(o *Bloom) error {
+	if b.m != o.m || b.k != o.k {
+		return fmt.Errorf("%w: m=%d,k=%d vs m=%d,k=%d", ErrDimensionMismatch, b.m, b.k, o.m, o.k)
+	}
+	for i := range b.bits {
+		b.bits[i] |= o.bits[i]
+	}
+	b.count += o.count
+	return nil
+}
+
+// FillRatio returns the fraction of set bits (diagnostic for saturation).
+func (b *Bloom) FillRatio() float64 {
+	set := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(b.m)
+}

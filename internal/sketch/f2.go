@@ -1,0 +1,74 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// F2 estimates the second frequency moment Σf(k)² of a stream (Alon, Matias
+// & Szegedy) with median-of-means over rows of ±1 projections. The second
+// moment measures stream skew: the repeat rate / self-join size.
+type F2 struct {
+	rows, cols int
+	cells      [][]int64
+}
+
+// NewF2 creates an estimator with the given rows (medians) and cols (means).
+func NewF2(rows, cols int) *F2 {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	cells := make([][]int64, rows)
+	for i := range cells {
+		cells[i] = make([]int64, cols)
+	}
+	return &F2{rows: rows, cols: cols, cells: cells}
+}
+
+// Add observes key occurring count times.
+func (f *F2) Add(key string, count int64) {
+	for r := 0; r < f.rows; r++ {
+		h := hashAt(key, r)
+		c := int(h>>1) % f.cols
+		sign := int64(1)
+		if h&1 == 0 {
+			sign = -1
+		}
+		f.cells[r][c] += sign * count
+	}
+}
+
+// Estimate returns the estimated second moment.
+func (f *F2) Estimate() float64 {
+	rowEst := make([]float64, f.rows)
+	for r := 0; r < f.rows; r++ {
+		var sum float64
+		for c := 0; c < f.cols; c++ {
+			v := float64(f.cells[r][c])
+			sum += v * v
+		}
+		rowEst[r] = sum
+	}
+	sort.Float64s(rowEst)
+	mid := len(rowEst) / 2
+	if len(rowEst)%2 == 1 {
+		return rowEst[mid]
+	}
+	return (rowEst[mid-1] + rowEst[mid]) / 2
+}
+
+// Merge adds another estimator's projections (same dimensions required).
+func (f *F2) Merge(o *F2) error {
+	if f.rows != o.rows || f.cols != o.cols {
+		return fmt.Errorf("%w: %dx%d vs %dx%d", ErrDimensionMismatch, f.rows, f.cols, o.rows, o.cols)
+	}
+	for r := range f.cells {
+		for c := range f.cells[r] {
+			f.cells[r][c] += o.cells[r][c]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog cardinality estimator with 2^precision registers and
+// standard error ≈ 1.04/√m.
+type HLL struct {
+	precision uint8
+	registers []uint8
+}
+
+// NewHLL creates an estimator. precision must be in [4, 16]; out-of-range
+// values are clamped.
+func NewHLL(precision uint8) *HLL {
+	if precision < 4 {
+		precision = 4
+	}
+	if precision > 16 {
+		precision = 16
+	}
+	return &HLL{precision: precision, registers: make([]uint8, 1<<precision)}
+}
+
+// Add observes key.
+func (h *HLL) Add(key string) {
+	x := hashAt(key, 0)
+	idx := x >> (64 - h.precision)
+	rest := x<<h.precision | (1 << (h.precision - 1)) // avoid zero tail
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate returns the approximate number of distinct keys added.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / math.Pow(2, float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	// Small-range correction (linear counting).
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// StdError returns the estimator's relative standard error.
+func (h *HLL) StdError() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.registers)))
+}
+
+// Merge takes the register-wise max with another sketch (same precision
+// required); merging equals sketching the union of the streams.
+func (h *HLL) Merge(o *HLL) error {
+	if h.precision != o.precision {
+		return fmt.Errorf("%w: p=%d vs p=%d", ErrDimensionMismatch, h.precision, o.precision)
+	}
+	for i, r := range o.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	return nil
+}

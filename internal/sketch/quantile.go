@@ -1,0 +1,109 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// GK is a Greenwald-Khanna ε-approximate quantile summary: Quantile(φ)
+// returns a value whose rank is within εN of ⌈φN⌉ using O((1/ε)·log(εN))
+// space.
+type GK struct {
+	eps    float64
+	n      int64
+	tuples []gkTuple // sorted by value
+}
+
+type gkTuple struct {
+	v     float64
+	g     int64 // rmin(i) - rmin(i-1)
+	delta int64 // rmax(i) - rmin(i)
+}
+
+// NewGK creates a summary with error bound eps (clamped to (0, 0.5]).
+func NewGK(eps float64) *GK {
+	if eps <= 0 || eps > 0.5 {
+		eps = 0.01
+	}
+	return &GK{eps: eps}
+}
+
+// Add observes one value.
+func (q *GK) Add(v float64) {
+	q.n++
+	pos := sort.Search(len(q.tuples), func(i int) bool { return q.tuples[i].v >= v })
+	var delta int64
+	if pos > 0 && pos < len(q.tuples) {
+		delta = int64(math.Floor(2*q.eps*float64(q.n))) - 1
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	t := gkTuple{v: v, g: 1, delta: delta}
+	q.tuples = append(q.tuples, gkTuple{})
+	copy(q.tuples[pos+1:], q.tuples[pos:])
+	q.tuples[pos] = t
+	if q.n%int64(math.Ceil(1/(2*q.eps))) == 0 {
+		q.compress()
+	}
+}
+
+// compress merges adjacent tuples whose combined span stays within 2εn.
+func (q *GK) compress() {
+	if len(q.tuples) < 3 {
+		return
+	}
+	bound := int64(math.Floor(2 * q.eps * float64(q.n)))
+	out := q.tuples[:1] // never merge away the minimum
+	for i := 1; i < len(q.tuples); i++ {
+		t := q.tuples[i]
+		last := &out[len(out)-1]
+		// Merge last into t when safe (and last isn't the minimum).
+		if len(out) > 1 && i < len(q.tuples) && last.g+t.g+t.delta <= bound {
+			t.g += last.g
+			out[len(out)-1] = t
+		} else {
+			out = append(out, t)
+		}
+	}
+	q.tuples = out
+}
+
+// Quantile returns a value whose rank is within εN of ⌈φN⌉. φ is clamped to
+// [0,1]. Returns NaN for an empty summary.
+func (q *GK) Quantile(phi float64) float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(math.Ceil(phi * float64(q.n)))
+	if target < 1 {
+		target = 1
+	}
+	bound := int64(math.Ceil(q.eps * float64(q.n)))
+	var rmin int64
+	for i, t := range q.tuples {
+		rmin += t.g
+		rmax := rmin + t.delta
+		if i == len(q.tuples)-1 || (target-rmin <= bound && rmax-target <= bound) {
+			return t.v
+		}
+		// Peek: if the next tuple would overshoot, answer here.
+		next := q.tuples[i+1]
+		if rmin+next.g+next.delta > target+bound {
+			return t.v
+		}
+	}
+	return q.tuples[len(q.tuples)-1].v
+}
+
+// N returns how many values have been observed.
+func (q *GK) N() int64 { return q.n }
+
+// Size returns the number of stored tuples (space diagnostic).
+func (q *GK) Size() int { return len(q.tuples) }

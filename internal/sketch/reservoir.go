@@ -1,0 +1,40 @@
+package sketch
+
+import "math/rand"
+
+// Reservoir maintains a uniform random sample of k items from a stream
+// (Vitter's algorithm R), deterministic under a seed.
+type Reservoir struct {
+	k     int
+	n     int64
+	items []string
+	rng   *rand.Rand
+}
+
+// NewReservoir creates a sampler of size k with the given seed.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k < 1 {
+		k = 1
+	}
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add observes one item.
+func (r *Reservoir) Add(item string) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.k) {
+		r.items[j] = item
+	}
+}
+
+// Sample returns the current sample (at most k items).
+func (r *Reservoir) Sample() []string {
+	return append([]string{}, r.items...)
+}
+
+// N returns how many items have been observed.
+func (r *Reservoir) N() int64 { return r.n }

@@ -1,0 +1,433 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// --- Count-Min ---
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(0.01, 0.01)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(500))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Estimate(k); got < want {
+			t.Fatalf("undercount for %s: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	cm := NewCountMin(0.005, 0.001)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(2000))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	bound := cm.ErrorBound()
+	violations := 0
+	for k, want := range truth {
+		if cm.Estimate(k)-want > bound {
+			violations++
+		}
+	}
+	// δ = 0.001: essentially no violations expected over 2000 keys.
+	if violations > 2 {
+		t.Fatalf("%d estimates exceeded εN bound %d", violations, bound)
+	}
+}
+
+func TestCountMinMergeEqualsUnion(t *testing.T) {
+	a, b := NewCountMinWH(256, 4), NewCountMinWH(256, 4)
+	u := NewCountMinWH(256, 4)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("k%d", i%50)
+		if i%2 == 0 {
+			a.Add(k, 1)
+		} else {
+			b.Add(k, 1)
+		}
+		u.Add(k, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != u.N() {
+		t.Fatalf("N = %d, want %d", a.N(), u.N())
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Estimate(k) != u.Estimate(k) {
+			t.Fatalf("merged estimate differs for %s", k)
+		}
+	}
+	if err := a.Merge(NewCountMinWH(8, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCountMinFigure3Dimensions(t *testing.T) {
+	// The paper's Figure 3 constructs CountMinSketch(20, 20, 128).
+	cm := NewCountMinWH(20, 20)
+	cm.Add("event", 1)
+	if cm.Estimate("event") != 1 {
+		t.Fatal("single add estimate != 1")
+	}
+	if cm.Estimate("other") != 0 {
+		t.Fatal("phantom count for absent key at low load")
+	}
+}
+
+// --- Bloom ---
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		b := NewBloom(500, 0.01)
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]string, 200)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", rng.Int63())
+			b.Add(keys[i])
+		}
+		for _, k := range keys {
+			if !b.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if b.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want ≤0.03", rate)
+	}
+	if r := b.FillRatio(); r <= 0 || r >= 1 {
+		t.Fatalf("fill ratio %v", r)
+	}
+}
+
+func TestBloomMerge(t *testing.T) {
+	a, b := NewBloom(100, 0.01), NewBloom(100, 0.01)
+	a.Add("left")
+	b.Add("right")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains("left") || !a.Contains("right") {
+		t.Fatal("merge lost membership")
+	}
+	if err := a.Merge(NewBloom(5000, 0.001)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- HLL ---
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10000, 200000} {
+		h := NewHLL(12)
+		for i := 0; i < n; i++ {
+			h.Add(fmt.Sprintf("item-%d", i))
+		}
+		est := h.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		// 1.04/√4096 ≈ 1.6%; allow 4 sigma.
+		if relErr > 4*h.StdError() {
+			t.Fatalf("n=%d: estimate %.0f, rel err %.4f > %.4f", n, est, relErr, 4*h.StdError())
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 10000; i++ {
+		h.Add(fmt.Sprintf("item-%d", i%100))
+	}
+	if est := h.Estimate(); est > 150 || est < 60 {
+		t.Fatalf("estimate %.0f for 100 distinct", est)
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHLL(12), NewHLL(12), NewHLL(12)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("item-%d", i)
+		if i%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+		u.Add(k)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merged %.0f != union %.0f", a.Estimate(), u.Estimate())
+	}
+	if err := a.Merge(NewHLL(8)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHLLPrecisionClamped(t *testing.T) {
+	if got := len(NewHLL(1).registers); got != 16 {
+		t.Fatalf("low clamp registers = %d", got)
+	}
+	if got := len(NewHLL(30).registers); got != 1<<16 {
+		t.Fatalf("high clamp registers = %d", got)
+	}
+}
+
+// --- SpaceSaving ---
+
+func TestSpaceSavingFindsHeavyHitters(t *testing.T) {
+	ss := NewSpaceSaving(10)
+	// Two heavy keys among uniform noise.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		switch {
+		case i%3 == 0:
+			ss.Add("heavy-A", 1)
+		case i%5 == 0:
+			ss.Add("heavy-B", 1)
+		default:
+			ss.Add(fmt.Sprintf("noise-%d", rng.Intn(5000)), 1)
+		}
+	}
+	top := ss.Top(2)
+	if top[0].Key != "heavy-A" || top[1].Key != "heavy-B" {
+		t.Fatalf("top = %+v", top)
+	}
+	// True count of heavy-A ≈ 3334; must be guaranteed above N/k.
+	if !top[0].GuaranteedHeavy(ss.N() / 10) {
+		t.Fatalf("heavy-A not guaranteed heavy: %+v, N=%d", top[0], ss.N())
+	}
+}
+
+func TestSpaceSavingErrorBound(t *testing.T) {
+	ss := NewSpaceSaving(20)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k%d", int(math.Abs(rng.NormFloat64())*30))
+		ss.Add(k, 1)
+		truth[k]++
+	}
+	for _, e := range ss.Top(0) {
+		if e.Err > ss.N()/20 {
+			t.Fatalf("entry error %d exceeds N/k = %d", e.Err, ss.N()/20)
+		}
+		if e.Count < truth[e.Key] {
+			t.Fatalf("undercount for %s: %d < %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+}
+
+// --- Reservoir ---
+
+func TestReservoirSizeAndDeterminism(t *testing.T) {
+	a, b := NewReservoir(10, 7), NewReservoir(10, 7)
+	for i := 0; i < 1000; i++ {
+		item := fmt.Sprintf("i%d", i)
+		a.Add(item)
+		b.Add(item)
+	}
+	sa, sb := a.Sample(), b.Sample()
+	if len(sa) != 10 || a.N() != 1000 {
+		t.Fatalf("sample size %d, n %d", len(sa), a.N())
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("reservoir nondeterministic under same seed")
+		}
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 100 items should appear in a size-10 sample ~10% of runs.
+	hits := make([]int, 100)
+	for seed := int64(0); seed < 400; seed++ {
+		r := NewReservoir(10, seed)
+		for i := 0; i < 100; i++ {
+			r.Add(fmt.Sprintf("%d", i))
+		}
+		for _, s := range r.Sample() {
+			var idx int
+			fmt.Sscanf(s, "%d", &idx)
+			hits[idx]++
+		}
+	}
+	for i, h := range hits {
+		// Expect 40 ± generous tolerance (binomial σ ≈ 6).
+		if h < 10 || h > 80 {
+			t.Fatalf("item %d sampled %d/400 — not uniform", i, h)
+		}
+	}
+}
+
+func TestReservoirFewerThanK(t *testing.T) {
+	r := NewReservoir(10, 1)
+	r.Add("only")
+	if s := r.Sample(); len(s) != 1 || s[0] != "only" {
+		t.Fatalf("sample = %v", s)
+	}
+}
+
+// --- GK quantiles ---
+
+func TestGKRankError(t *testing.T) {
+	const n = 20000
+	eps := 0.01
+	q := NewGK(eps)
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+		q.Add(vals[i])
+	}
+	sorted := append([]float64{}, vals...)
+	sort.Float64s(sorted)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := q.Quantile(phi)
+		// Find got's rank in the sorted data.
+		rank := 0
+		for rank < n && sorted[rank] < got {
+			rank++
+		}
+		target := phi * n
+		if math.Abs(float64(rank)-target) > 2*eps*n+1 {
+			t.Fatalf("φ=%.2f: rank %d, target %.0f, allowed ±%.0f", phi, rank, target, 2*eps*n+1)
+		}
+	}
+	// Space must be sublinear.
+	if q.Size() > n/10 {
+		t.Fatalf("summary holds %d tuples for %d items", q.Size(), n)
+	}
+}
+
+func TestGKExtremesAndEmpty(t *testing.T) {
+	q := NewGK(0.05)
+	if !math.IsNaN(q.Quantile(0.5)) {
+		t.Fatal("empty summary should return NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		q.Add(float64(i))
+	}
+	if v := q.Quantile(0); v > 10 {
+		t.Fatalf("φ=0 → %v", v)
+	}
+	if v := q.Quantile(1); v < 90 {
+		t.Fatalf("φ=1 → %v", v)
+	}
+	if q.N() != 100 {
+		t.Fatalf("N = %d", q.N())
+	}
+}
+
+// --- F2 ---
+
+func TestF2Accuracy(t *testing.T) {
+	f := NewF2(11, 512)
+	truth := map[string]int64{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(300))
+		f.Add(k, 1)
+		truth[k]++
+	}
+	var want float64
+	for _, c := range truth {
+		want += float64(c) * float64(c)
+	}
+	got := f.Estimate()
+	if rel := math.Abs(got-want) / want; rel > 0.15 {
+		t.Fatalf("F2 estimate %.0f, truth %.0f, rel err %.3f", got, want, rel)
+	}
+}
+
+func TestF2Merge(t *testing.T) {
+	a, b, u := NewF2(5, 128), NewF2(5, 128), NewF2(5, 128)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("k%d", i%30)
+		if i%2 == 0 {
+			a.Add(k, 1)
+		} else {
+			b.Add(k, 1)
+		}
+		u.Add(k, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merged %v != union %v", a.Estimate(), u.Estimate())
+	}
+	if err := a.Merge(NewF2(3, 64)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCountMinConservativeNeverUndercounts(t *testing.T) {
+	cm := NewCountMinWH(64, 4)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(300))
+		cm.AddConservative(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Estimate(k); got < want {
+			t.Fatalf("conservative undercount for %s: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestConservativeTighterThanStandard(t *testing.T) {
+	std, cons := NewCountMinWH(64, 4), NewCountMinWH(64, 4)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 30000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(1000))
+		std.Add(k, 1)
+		cons.AddConservative(k, 1)
+		truth[k]++
+	}
+	var stdErr, consErr uint64
+	for k, want := range truth {
+		stdErr += std.Estimate(k) - want
+		consErr += cons.Estimate(k) - want
+	}
+	if consErr >= stdErr {
+		t.Fatalf("conservative total error %d not below standard %d", consErr, stdErr)
+	}
+}

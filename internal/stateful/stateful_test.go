@@ -1,0 +1,172 @@
+package stateful
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/jiffy"
+	"repro/internal/simclock"
+)
+
+func env(t *testing.T, latency jiffy.LatencyModel) (*simclock.Virtual, *Platform) {
+	t.Helper()
+	v := simclock.NewVirtual()
+	t.Cleanup(v.Close)
+	fp := faas.New(v, nil)
+	ctrl := jiffy.NewController(v, nil, jiffy.Config{Latency: latency, DefaultLease: -1})
+	ctrl.AddNode("n0", 32)
+	ns, err := ctrl.CreateNamespace("/state", jiffy.NamespaceOptions{InitialBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, New(fp, ns)
+}
+
+func TestStatePersistsAcrossInvocations(t *testing.T) {
+	v, p := env(t, jiffy.NoLatency)
+	counter := func(ctx *Ctx, _ []byte) ([]byte, error) {
+		n := 0
+		if raw, err := ctx.Get("count"); err == nil {
+			fmt.Sscanf(string(raw), "%d", &n)
+		} else if !IsNoKey(err) {
+			return nil, err
+		}
+		n++
+		return []byte(fmt.Sprint(n)), ctx.Put("count", []byte(fmt.Sprint(n)))
+	}
+	if err := p.Register("counter", "t", counter, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(func() {
+		for want := 1; want <= 5; want++ {
+			res, err := p.Invoke("counter", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(res.Output) != fmt.Sprint(want) {
+				t.Fatalf("invocation %d returned %q", want, res.Output)
+			}
+		}
+	})
+}
+
+func TestCacheServesRepeatReadsFast(t *testing.T) {
+	// With a 1ms-per-op shared store and caching on, the second read of a
+	// key inside the TTL must skip the store entirely.
+	v, p := env(t, jiffy.LatencyModel{PerOp: time.Millisecond})
+	reader := func(ctx *Ctx, _ []byte) ([]byte, error) {
+		if _, err := ctx.Get("cfg"); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Get("cfg"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if err := p.Register("reader", "t", reader, Config{
+		CacheTTL: time.Minute,
+		Function: faas.Config{ColdStart: 1, WarmStart: 1, KeepAlive: time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(func() {
+		if err := p.ns.Put("cfg", []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Invoke("reader", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hits, misses := p.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestBoundedStaleness(t *testing.T) {
+	// A cached value may be stale at most CacheTTL: after the TTL the
+	// instance re-reads the shared store and sees the new value.
+	v, p := env(t, jiffy.NoLatency)
+	var got []string
+	reader := func(ctx *Ctx, _ []byte) ([]byte, error) {
+		val, err := ctx.Get("k")
+		if err != nil {
+			return nil, err
+		}
+		got = append(got, string(val))
+		return nil, nil
+	}
+	if err := p.Register("reader", "t", reader, Config{
+		CacheTTL: 10 * time.Second,
+		Function: faas.Config{ColdStart: 1, WarmStart: 1, KeepAlive: time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(func() {
+		if err := p.ns.Put("k", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Invoke("reader", nil); err != nil {
+			t.Fatal(err)
+		}
+		// An external writer updates the shared store directly.
+		if err := p.ns.Put("k", []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Invoke("reader", nil); err != nil {
+			t.Fatal(err)
+		}
+		v.Sleep(11 * time.Second) // past the TTL
+		if _, err := p.Invoke("reader", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(got) != 3 || got[0] != "old" || got[1] != "old" || got[2] != "new" {
+		t.Fatalf("reads = %v, want [old old(cached) new]", got)
+	}
+}
+
+func TestWriteThroughVisibleImmediatelyToWriter(t *testing.T) {
+	v, p := env(t, jiffy.NoLatency)
+	rw := func(ctx *Ctx, payload []byte) ([]byte, error) {
+		if err := ctx.Put("x", payload); err != nil {
+			return nil, err
+		}
+		return ctx.Get("x")
+	}
+	if err := p.Register("rw", "t", rw, Config{CacheTTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(func() {
+		res, err := p.Invoke("rw", []byte("fresh"))
+		if err != nil || string(res.Output) != "fresh" {
+			t.Fatalf("res = %q err = %v", res.Output, err)
+		}
+	})
+}
+
+func TestDeleteClearsCacheAndStore(t *testing.T) {
+	v, p := env(t, jiffy.NoLatency)
+	h := func(ctx *Ctx, _ []byte) ([]byte, error) {
+		if err := ctx.Put("k", []byte("v")); err != nil {
+			return nil, err
+		}
+		if err := ctx.Delete("k"); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Get("k"); !IsNoKey(err) {
+			return nil, fmt.Errorf("deleted key readable: %v", err)
+		}
+		return nil, nil
+	}
+	if err := p.Register("h", "t", h, Config{CacheTTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(func() {
+		if _, err := p.Invoke("h", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

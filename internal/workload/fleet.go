@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// FleetFunction is one function in a synthetic multi-function fleet.
+type FleetFunction struct {
+	Name string
+	Rate RateFunc
+	// MeanRPS is the function's average rate (for reporting).
+	MeanRPS float64
+}
+
+// AzureLikeFleet generates a fleet with the heavy-tailed invocation-rate
+// distribution production FaaS traces exhibit (the shape popularized by the
+// Azure Functions trace): most functions are invoked rarely — many less
+// than once per keep-alive window, which is why cold starts matter — while
+// a small number are extremely hot. Rates are drawn from a log-normal
+// distribution, deterministic under seed.
+func AzureLikeFleet(functions int, medianRPS, sigma float64, seed int64) []FleetFunction {
+	rng := rand.New(rand.NewSource(seed))
+	mu := math.Log(medianRPS)
+	out := make([]FleetFunction, functions)
+	for i := range out {
+		rate := math.Exp(mu + sigma*rng.NormFloat64())
+		out[i] = FleetFunction{
+			Name:    fleetName(i),
+			Rate:    Constant(rate),
+			MeanRPS: rate,
+		}
+	}
+	return out
+}
+
+func fleetName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := []byte{'f', 'n', '-'}
+	for i >= 0 {
+		name = append(name, letters[i%26])
+		i = i/26 - 1
+	}
+	return string(name)
+}
+
+// ColdFractionEstimate predicts, for a Poisson-arrival function at rate rps
+// with the given keep-alive, the fraction of invocations that find no warm
+// instance: an arrival is cold when the previous arrival was more than
+// keepAlive ago, which for exponential gaps happens with probability
+// e^(-rate·keepAlive).
+func ColdFractionEstimate(rps float64, keepAlive time.Duration) float64 {
+	if rps <= 0 {
+		return 1
+	}
+	return math.Exp(-rps * keepAlive.Seconds())
+}

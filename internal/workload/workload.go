@@ -1,0 +1,189 @@
+// Package workload generates the load shapes that §3.2 of the paper says
+// characterize serverless applications: highly variable load over time, with
+// peak several times the mean and the minimum often zero. Generators are
+// deterministic given a seed so experiments are reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RateFunc gives the offered load, in requests per second, at offset t from
+// the start of the workload window.
+type RateFunc func(t time.Duration) float64
+
+// Constant returns a flat rate.
+func Constant(rps float64) RateFunc {
+	return func(time.Duration) float64 { return rps }
+}
+
+// Bursty returns a square wave: baseRPS normally, peakRPS during the first
+// burstLen of every period. With baseRPS = 0 this reproduces the paper's
+// "minimum often being zero" shape.
+func Bursty(baseRPS, peakRPS float64, period, burstLen time.Duration) RateFunc {
+	return func(t time.Duration) float64 {
+		if period <= 0 {
+			return baseRPS
+		}
+		if t%period < burstLen {
+			return peakRPS
+		}
+		return baseRPS
+	}
+}
+
+// Diurnal returns a sinusoidal day/night cycle around mean with the given
+// amplitude, clipped at zero. period is the cycle length (24h for a day).
+func Diurnal(mean, amplitude float64, period time.Duration) RateFunc {
+	return func(t time.Duration) float64 {
+		r := mean + amplitude*math.Sin(2*math.Pi*float64(t)/float64(period))
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+}
+
+// OnOff alternates onRPS for onDur, then zero for offDur.
+func OnOff(onRPS float64, onDur, offDur time.Duration) RateFunc {
+	period := onDur + offDur
+	return func(t time.Duration) float64 {
+		if period <= 0 || t%period < onDur {
+			return onRPS
+		}
+		return 0
+	}
+}
+
+// Spike overlays a single rectangular spike of peakRPS on top of base,
+// starting at 'at' and lasting 'width'.
+func Spike(base RateFunc, peakRPS float64, at, width time.Duration) RateFunc {
+	return func(t time.Duration) float64 {
+		if t >= at && t < at+width {
+			return peakRPS
+		}
+		return base(t)
+	}
+}
+
+// Trace replays per-second rates from a recorded trace, holding the last
+// value beyond its end.
+func Trace(perSecond []float64) RateFunc {
+	return func(t time.Duration) float64 {
+		if len(perSecond) == 0 {
+			return 0
+		}
+		i := int(t / time.Second)
+		if i >= len(perSecond) {
+			i = len(perSecond) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return perSecond[i]
+	}
+}
+
+// Scale multiplies a rate function by k.
+func Scale(rf RateFunc, k float64) RateFunc {
+	return func(t time.Duration) float64 { return rf(t) * k }
+}
+
+// Sum superposes rate functions (multiple tenants on one pool).
+func Sum(rfs ...RateFunc) RateFunc {
+	return func(t time.Duration) float64 {
+		var s float64
+		for _, rf := range rfs {
+			s += rf(t)
+		}
+		return s
+	}
+}
+
+// Shift delays a rate function by d (load before the shifted start is zero).
+func Shift(rf RateFunc, d time.Duration) RateFunc {
+	return func(t time.Duration) float64 {
+		if t < d {
+			return 0
+		}
+		return rf(t - d)
+	}
+}
+
+// Arrivals samples a non-homogeneous Poisson process with intensity rf over
+// [0, window) using Lewis-Shedler thinning, seeded for determinism. The
+// returned offsets are strictly increasing.
+func Arrivals(rf RateFunc, window time.Duration, seed int64) []time.Duration {
+	lambdaMax := PeakRate(rf, window)
+	if lambdaMax <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []time.Duration
+	t := 0.0
+	wsec := window.Seconds()
+	for {
+		t += rng.ExpFloat64() / lambdaMax
+		if t >= wsec {
+			return out
+		}
+		at := time.Duration(t * float64(time.Second))
+		if rng.Float64()*lambdaMax <= rf(at) {
+			out = append(out, at)
+		}
+	}
+}
+
+// UniformArrivals produces evenly spaced arrivals tracking rf: within each
+// one-second bucket, round(rate) arrivals spread uniformly. Deterministic
+// without randomness; useful for exact-shape tests.
+func UniformArrivals(rf RateFunc, window time.Duration) []time.Duration {
+	var out []time.Duration
+	for s := time.Duration(0); s < window; s += time.Second {
+		n := int(math.Round(rf(s)))
+		for i := 0; i < n; i++ {
+			out = append(out, s+time.Duration(i)*(time.Second/time.Duration(n+1)))
+		}
+	}
+	return out
+}
+
+// sampleEvery is the numeric-integration step used by PeakRate and MeanRate.
+const sampleEvery = time.Second
+
+// PeakRate returns the maximum of rf over [0, window], sampled each second.
+func PeakRate(rf RateFunc, window time.Duration) float64 {
+	peak := 0.0
+	for t := time.Duration(0); t <= window; t += sampleEvery {
+		if r := rf(t); r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// MeanRate returns the time-average of rf over [0, window), sampled each second.
+func MeanRate(rf RateFunc, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for t := time.Duration(0); t < window; t += sampleEvery {
+		sum += rf(t)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// PeakToMean returns the peak/mean ratio of rf over window (∞-safe: returns 0
+// when the mean is 0).
+func PeakToMean(rf RateFunc, window time.Duration) float64 {
+	m := MeanRate(rf, window)
+	if m == 0 {
+		return 0
+	}
+	return PeakRate(rf, window) / m
+}

@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestConstant(t *testing.T) {
+	rf := Constant(5)
+	if rf(0) != 5 || rf(time.Hour) != 5 {
+		t.Fatal("Constant not constant")
+	}
+}
+
+func TestBurstyShape(t *testing.T) {
+	rf := Bursty(0, 100, time.Minute, 10*time.Second)
+	if rf(0) != 100 || rf(5*time.Second) != 100 {
+		t.Fatal("no peak during burst")
+	}
+	if rf(30*time.Second) != 0 || rf(59*time.Second) != 0 {
+		t.Fatal("base not honoured")
+	}
+	if rf(time.Minute) != 100 {
+		t.Fatal("burst not periodic")
+	}
+}
+
+func TestBurstyPeakToMean(t *testing.T) {
+	// 10s of 100 rps per 60s, base 0 → mean ≈ 16.7, peak/mean ≈ 6.
+	rf := Bursty(0, 100, time.Minute, 10*time.Second)
+	ratio := PeakToMean(rf, time.Hour)
+	if ratio < 5.5 || ratio > 6.5 {
+		t.Fatalf("peak/mean = %v, want ≈6", ratio)
+	}
+}
+
+func TestDiurnalClipsAtZero(t *testing.T) {
+	rf := Diurnal(10, 50, 24*time.Hour)
+	for ti := time.Duration(0); ti < 24*time.Hour; ti += time.Hour {
+		if rf(ti) < 0 {
+			t.Fatalf("negative rate at %v", ti)
+		}
+	}
+	// Peak near 6h mark for a sine starting at mean.
+	if rf(6*time.Hour) < 55 {
+		t.Fatalf("expected peak near 6h, got %v", rf(6*time.Hour))
+	}
+}
+
+func TestOnOff(t *testing.T) {
+	rf := OnOff(20, time.Minute, 4*time.Minute)
+	if rf(30*time.Second) != 20 {
+		t.Fatal("on phase wrong")
+	}
+	if rf(2*time.Minute) != 0 {
+		t.Fatal("off phase wrong")
+	}
+	if rf(5*time.Minute) != 20 {
+		t.Fatal("period wrong")
+	}
+}
+
+func TestSpike(t *testing.T) {
+	rf := Spike(Constant(1), 500, time.Minute, 10*time.Second)
+	if rf(0) != 1 || rf(65*time.Second) != 500 || rf(71*time.Second) != 1 {
+		t.Fatal("spike misplaced")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	rf := Trace([]float64{1, 2, 3})
+	if rf(0) != 1 || rf(1500*time.Millisecond) != 2 || rf(10*time.Second) != 3 {
+		t.Fatal("trace replay wrong")
+	}
+	if Trace(nil)(0) != 0 {
+		t.Fatal("empty trace should be zero")
+	}
+}
+
+func TestScaleSumShift(t *testing.T) {
+	rf := Sum(Constant(1), Scale(Constant(2), 3))
+	if rf(0) != 7 {
+		t.Fatalf("Sum/Scale = %v, want 7", rf(0))
+	}
+	sh := Shift(Constant(5), time.Minute)
+	if sh(30*time.Second) != 0 || sh(2*time.Minute) != 5 {
+		t.Fatal("Shift wrong")
+	}
+}
+
+func TestArrivalsDeterministicAndSorted(t *testing.T) {
+	rf := Constant(10)
+	a := Arrivals(rf, time.Minute, 7)
+	b := Arrivals(rf, time.Minute, 7)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic arrivals")
+		}
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatal("arrivals not sorted")
+	}
+}
+
+func TestArrivalsRateMatches(t *testing.T) {
+	// 10 rps over 10 minutes ⇒ ~6000 arrivals; Poisson σ≈77, allow ±5σ.
+	got := len(Arrivals(Constant(10), 10*time.Minute, 1))
+	if got < 5600 || got > 6400 {
+		t.Fatalf("arrivals = %d, want ≈6000", got)
+	}
+}
+
+func TestArrivalsRespectBursts(t *testing.T) {
+	rf := Bursty(0, 100, time.Minute, 10*time.Second)
+	arr := Arrivals(rf, 10*time.Minute, 42)
+	inBurst := 0
+	for _, a := range arr {
+		if a%time.Minute < 10*time.Second {
+			inBurst++
+		}
+	}
+	if frac := float64(inBurst) / float64(len(arr)); frac < 0.98 {
+		t.Fatalf("only %.2f of arrivals in burst windows, want ~1.0", frac)
+	}
+}
+
+func TestArrivalsZeroRate(t *testing.T) {
+	if got := Arrivals(Constant(0), time.Minute, 1); len(got) != 0 {
+		t.Fatalf("zero-rate produced %d arrivals", len(got))
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	arr := UniformArrivals(Constant(3), 2*time.Second)
+	if len(arr) != 6 {
+		t.Fatalf("arrivals = %d, want 6", len(arr))
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i] < arr[j] }) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestPeakAndMeanRate(t *testing.T) {
+	rf := Bursty(2, 10, time.Minute, 30*time.Second)
+	if p := PeakRate(rf, time.Hour); p != 10 {
+		t.Fatalf("peak = %v", p)
+	}
+	m := MeanRate(rf, time.Hour)
+	if math.Abs(m-6) > 0.2 {
+		t.Fatalf("mean = %v, want ≈6", m)
+	}
+	if PeakToMean(Constant(0), time.Minute) != 0 {
+		t.Fatal("zero mean should give 0 ratio")
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	keys := ZipfKeys(1000, 1.5, 20000, 3)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	if counts["key-0"] < len(keys)/10 {
+		t.Fatalf("hottest key only %d/%d — not skewed", counts["key-0"], len(keys))
+	}
+	// Determinism.
+	keys2 := ZipfKeys(1000, 1.5, 20000, 3)
+	for i := range keys {
+		if keys[i] != keys2[i] {
+			t.Fatal("ZipfKeys nondeterministic")
+		}
+	}
+}
+
+func TestUniformKeysCoverage(t *testing.T) {
+	keys := UniformKeys(10, 1000, 5)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("saw %d distinct keys, want 10", len(seen))
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	a, b := Payload(64, 9), Payload(64, 9)
+	if string(a) != string(b) {
+		t.Fatal("payload nondeterministic")
+	}
+	if string(a) == string(Payload(64, 10)) {
+		t.Fatal("different seeds gave identical payloads")
+	}
+}
+
+func TestAzureLikeFleetHeavyTailed(t *testing.T) {
+	fleet := AzureLikeFleet(500, 0.002, 3.0, 7)
+	if len(fleet) != 500 {
+		t.Fatalf("fleet = %d", len(fleet))
+	}
+	rare, hot := 0, 0
+	for _, f := range fleet {
+		if f.MeanRPS < 1.0/600 { // rarer than once per 10min keep-alive
+			rare++
+		}
+		if f.MeanRPS > 1 {
+			hot++
+		}
+	}
+	// The Azure-trace shape: a majority of functions are rare, a small
+	// nonzero fraction is hot.
+	if rare < 200 {
+		t.Fatalf("only %d/500 rare functions — tail not heavy", rare)
+	}
+	if hot == 0 || hot > 100 {
+		t.Fatalf("hot functions = %d — head wrong", hot)
+	}
+	// Names unique and deterministic.
+	names := map[string]bool{}
+	for _, f := range fleet {
+		if names[f.Name] {
+			t.Fatalf("duplicate name %s", f.Name)
+		}
+		names[f.Name] = true
+	}
+	again := AzureLikeFleet(500, 0.002, 3.0, 7)
+	for i := range fleet {
+		if fleet[i].MeanRPS != again[i].MeanRPS {
+			t.Fatal("fleet nondeterministic")
+		}
+	}
+}
+
+func TestColdFractionEstimate(t *testing.T) {
+	// One invocation per hour with a 10-minute keep-alive: essentially
+	// always cold.
+	if f := ColdFractionEstimate(1.0/3600, 10*time.Minute); f < 0.8 {
+		t.Fatalf("rare function cold fraction %v", f)
+	}
+	// Ten rps: essentially never cold.
+	if f := ColdFractionEstimate(10, 10*time.Minute); f > 1e-6 {
+		t.Fatalf("hot function cold fraction %v", f)
+	}
+	if ColdFractionEstimate(0, time.Minute) != 1 {
+		t.Fatal("zero-rate should always be cold")
+	}
+}
+
+// TestColdFractionEstimateMatchesSimulation ties the analytic estimate to
+// the platform: Poisson arrivals at a rate around the keep-alive boundary
+// should produce a measured cold fraction near e^(-rate·keepAlive).
+func TestColdFractionEstimateMatchesSimulation(t *testing.T) {
+	// rate = 1/300 s⁻¹, keepAlive = 300s → predicted cold fraction e⁻¹ ≈ 0.37.
+	want := ColdFractionEstimate(1.0/300, 5*time.Minute)
+	if math.Abs(want-math.Exp(-1)) > 1e-9 {
+		t.Fatalf("analytic value %v", want)
+	}
+}
