@@ -19,11 +19,15 @@ import (
 	"repro/internal/faas"
 	"repro/internal/jiffy"
 	"repro/internal/orchestrate"
+	"repro/internal/pulsar"
 	"repro/internal/sketch"
 	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
+	if testing.Short() {
+		b.Skip("experiment benchmarks skipped in -short mode (full simulation per iteration)")
+	}
 	e, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
@@ -84,23 +88,47 @@ func BenchmarkInvokeWarm(b *testing.B) {
 }
 
 // BenchmarkPulsarPublish measures the publish path: broker → replicated
-// ledger append → subscription dispatch.
+// ledger append → subscription dispatch. "sync" is one quorum round trip
+// per message (batching disabled, the pre-batching behavior); "batchN"
+// buffers N SendAsync messages per group-commit ledger append.
 func BenchmarkPulsarPublish(b *testing.B) {
-	p := core.New(core.Options{})
-	if err := p.Pulsar.CreateTopic("bench", 0); err != nil {
-		b.Fatal(err)
-	}
-	prod, err := p.Pulsar.CreateProducer("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
 	payload := workload.Payload(256, 1)
-	b.SetBytes(256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := prod.Send(payload); err != nil {
+	setup := func(b *testing.B, batch int) *pulsar.Producer {
+		b.Helper()
+		p := core.New(core.Options{PulsarBatchMax: batch, PulsarFlushInterval: time.Hour})
+		if err := p.Pulsar.CreateTopic("bench", 0); err != nil {
 			b.Fatal(err)
 		}
+		prod, err := p.Pulsar.CreateProducer("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prod
+	}
+	b.Run("sync", func(b *testing.B) {
+		prod := setup(b, 1)
+		b.SetBytes(256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prod.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, batch := range []int{16, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			prod := setup(b, batch)
+			b.SetBytes(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prod.SendAsync("", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := prod.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -163,6 +191,9 @@ func BenchmarkAblationCountMinUpdate(b *testing.B) {
 // blob store vs Jiffy — on identical word-count jobs (the E4 claim inside a
 // real workload).
 func BenchmarkAblationShuffleStore(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full MapReduce simulation per iteration; skipped in -short mode")
+	}
 	chunks := make([]string, 8)
 	for i := range chunks {
 		chunks[i] = "alpha beta gamma delta epsilon zeta eta theta " +

@@ -45,6 +45,13 @@ type entryKey struct {
 }
 
 // Bookie is one storage node.
+//
+// Entry immutability contract: addEntry retains the data slice it is handed
+// without copying, and every replica of an entry shares that one buffer. The
+// writer makes (exactly) one defensive copy before replicating — callers
+// above the ledger layer must never mutate a buffer after appending it.
+// readEntry still returns a fresh copy, so readers may mutate what they get
+// back.
 type Bookie struct {
 	ID string
 
@@ -84,7 +91,7 @@ func (b *Bookie) addEntry(ledgerID, entryID int64, data []byte) error {
 	if b.fenced[ledgerID] {
 		return fmt.Errorf("%w: ledger %d on %s", ErrFenced, ledgerID, b.ID)
 	}
-	b.entries[entryKey{ledgerID, entryID}] = append([]byte(nil), data...)
+	b.entries[entryKey{ledgerID, entryID}] = data // shared, immutable (see type doc)
 	if cur, ok := b.last[ledgerID]; !ok || entryID > cur {
 		b.last[ledgerID] = entryID
 	}
@@ -233,14 +240,51 @@ func (s *System) CreateLedger(ensembleSize, writeQuorum, ackQuorum int) (*Writer
 func (w *Writer) ID() int64 { return w.ledgerID }
 
 // Append writes data as the next entry, returning its entry id once
-// ackQuorum bookies have it.
+// ackQuorum bookies have it. The writer retains data without copying (see
+// the Bookie immutability contract): do not mutate it after the call.
 func (w *Writer) Append(data []byte) (int64, error) {
 	if w.closed {
 		return 0, ErrWriterClosed
 	}
 	w.sys.clock.Sleep(w.sys.AppendLatency)
 	entryID := w.next
+	if err := w.replicate(entryID, data); err != nil {
+		return 0, err
+	}
+	w.next++
+	return entryID, nil
+}
 
+// AppendBatch writes entries as one group commit: the modelled
+// AppendLatency — the durability round trip — is paid once for the whole
+// batch instead of once per entry, while each entry still replicates to its
+// write quorum. It returns the entry id assigned to entries[0]; subsequent
+// entries get consecutive ids. Entries commit in order; if one fails to
+// reach its ack quorum the batch stops there, the error is returned, and the
+// earlier entries of the batch stay committed (callers needing atomicity
+// must treat the whole batch as failed and rely on recovery semantics, as
+// the broker does). Entries are retained without copying, like Append.
+func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	first := w.next
+	if len(entries) == 0 {
+		return first, nil
+	}
+	w.sys.clock.Sleep(w.sys.AppendLatency)
+	for _, data := range entries {
+		if err := w.replicate(w.next, data); err != nil {
+			return first, err
+		}
+		w.next++
+	}
+	return first, nil
+}
+
+// replicate pushes one entry to its write quorum and requires ackQuorum
+// durable copies. A fenced ensemble permanently closes the writer.
+func (w *Writer) replicate(entryID int64, data []byte) error {
 	acks := 0
 	var lastErr error
 	for j := 0; j < w.meta.WriteQuorum; j++ {
@@ -253,17 +297,16 @@ func (w *Writer) Append(data []byte) (int64, error) {
 			lastErr = err
 			if errors.Is(err, ErrFenced) {
 				w.closed = true
-				return 0, err
+				return err
 			}
 			continue
 		}
 		acks++
 	}
 	if acks < w.meta.AckQuorum {
-		return 0, fmt.Errorf("%w: %d/%d acks (%v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr)
+		return fmt.Errorf("%w: %d/%d acks (%v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr)
 	}
-	w.next++
-	return entryID, nil
+	return nil
 }
 
 // Close seals the ledger, recording the last entry id in metadata.

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -22,29 +21,6 @@ var (
 	ErrBadTopicName   = errors.New("pulsar: invalid topic name")
 	ErrConsumerClosed = errors.New("pulsar: consumer is closed")
 )
-
-// inbox is an unbounded per-consumer delivery buffer.
-type inbox struct {
-	mu    sync.Mutex
-	items []Message
-}
-
-func (in *inbox) push(m Message) {
-	in.mu.Lock()
-	in.items = append(in.items, m)
-	in.mu.Unlock()
-}
-
-func (in *inbox) pop() (Message, bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if len(in.items) == 0 {
-		return Message{}, false
-	}
-	m := in.items[0]
-	in.items = in.items[1:]
-	return m, true
-}
 
 // consumerReg is a consumer's registration on a broker-side subscription.
 type consumerReg struct {
@@ -72,9 +48,13 @@ type ledgerRange struct {
 	StartSeq int64 `json:"start_seq"`
 }
 
-// topicState is a broker's in-memory state for a topic it owns.
+// topicState is a broker's in-memory state for a topic it owns. Each topic
+// carries its own lock, so publishes and dispatches on distinct topics never
+// contend: Broker.mu only guards the topic table itself.
 type topicState struct {
-	name    string
+	name string
+
+	mu      sync.Mutex
 	writer  *ledger.Writer
 	ranges  []ledgerRange
 	cache   []Message // all messages, indexed by seq
@@ -85,12 +65,18 @@ type topicState struct {
 // Broker is the stateless message-serving component of Figure 1: it
 // receives, stores (via the ledger layer) and dispatches messages for the
 // topics whose ownership it holds in the coordination service.
+//
+// Locking: Broker.mu (an RWMutex) protects the topic table and the down
+// flag; per-topic state is under topicState.mu. Data-plane operations take
+// Broker.mu read-locked for their duration plus the one topic's lock, so
+// traffic on different topics proceeds concurrently while SetDown/loadTopic
+// (write-lockers) still see a quiescent broker.
 type Broker struct {
 	ID      string
 	cluster *Cluster
 	session coord.SessionID
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	topics map[string]*topicState
 	down   bool
 }
@@ -112,25 +98,39 @@ func (b *Broker) SetDown(down bool) {
 
 // Down reports whether the broker is crashed.
 func (b *Broker) Down() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.down
+}
+
+// topic looks up a live topic's state. Called with b.mu held (read or
+// write).
+func (b *Broker) topicLocked(topicName string) (*topicState, error) {
+	if b.down {
+		return nil, fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	}
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not owned by %s", ErrNoTopic, topicName, b.ID)
+	}
+	return ts, nil
 }
 
 // publish appends a message durably and dispatches it to subscribers.
 func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.down {
-		return 0, fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, err := b.topicLocked(topicName)
+	if err != nil {
+		return 0, err
 	}
-	ts, ok := b.topics[topicName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q not owned by %s", ErrNoTopic, topicName, b.ID)
-	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	m := Message{
-		Seq:         ts.nextSeq,
-		Key:         key,
+		Seq: ts.nextSeq,
+		Key: key,
+		// The single defensive copy on the publish path: the broker owns
+		// this buffer; the ledger layer and consumers share it read-only.
 		Payload:     append([]byte(nil), payload...),
 		PublishTime: b.cluster.clock.Now(),
 		Topic:       topicName,
@@ -146,18 +146,55 @@ func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 	return m.Seq, nil
 }
 
+// publishBatch appends a producer batch as one ledger group commit and then
+// dispatches. The payloads are owned by the broker from this point on (the
+// producer already made the defensive copy when it buffered them); all
+// messages share one PublishTime. Returns the first assigned seq.
+func (b *Broker) publishBatch(topicName string, keys []string, payloads [][]byte) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, err := b.topicLocked(topicName)
+	if err != nil {
+		return 0, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	now := b.cluster.clock.Now()
+	first := ts.nextSeq
+	entries := make([][]byte, len(payloads))
+	for i := range payloads {
+		m := Message{
+			Seq:         first + int64(i),
+			Key:         keys[i],
+			Payload:     payloads[i],
+			PublishTime: now,
+			Topic:       topicName,
+		}
+		entries[i] = encodeMessage(m)
+		ts.cache = append(ts.cache, m)
+	}
+	if _, err := ts.writer.AppendBatch(entries); err != nil {
+		ts.cache = ts.cache[:first] // roll back the optimistic cache appends
+		return 0, err
+	}
+	ts.nextSeq = first + int64(len(payloads))
+	for _, sub := range ts.subs {
+		b.dispatchLocked(ts, sub)
+	}
+	return first, nil
+}
+
 // subscribe creates the durable subscription if needed and attaches the
 // consumer, triggering backlog dispatch.
 func (b *Broker) subscribe(topicName, subName string, mode SubMode, pos InitialPosition, reg *consumerReg) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.down {
-		return fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, err := b.topicLocked(topicName)
+	if err != nil {
+		return err
 	}
-	ts, ok := b.topics[topicName]
-	if !ok {
-		return fmt.Errorf("%w: %q not owned by %s", ErrNoTopic, topicName, b.ID)
-	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	sub, ok := ts.subs[subName]
 	if !ok {
 		start := int64(0)
@@ -191,12 +228,14 @@ func (b *Broker) subscribe(topicName, subName string, mode SubMode, pos InitialP
 
 // detach removes a consumer; its pending messages are queued for redelivery.
 func (b *Broker) detach(topicName, subName string, consumerID int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	ts, ok := b.topics[topicName]
 	if !ok {
 		return
 	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	sub, ok := ts.subs[subName]
 	if !ok {
 		return
@@ -225,15 +264,14 @@ func (b *Broker) detach(topicName, subName string, consumerID int64) {
 
 // ack marks a message consumed and advances the durable cursor.
 func (b *Broker) ack(topicName, subName string, seq int64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.down {
-		return fmt.Errorf("%w: %s", ErrBrokerDown, b.ID)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, err := b.topicLocked(topicName)
+	if err != nil {
+		return err
 	}
-	ts, ok := b.topics[topicName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoTopic, topicName)
-	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	sub, ok := ts.subs[subName]
 	if !ok {
 		return fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)
@@ -256,7 +294,7 @@ func (b *Broker) ack(topicName, subName string, seq int64) error {
 }
 
 // dispatchLocked delivers redeliveries and fresh messages to consumers per
-// the subscription mode. Called with b.mu held.
+// the subscription mode. Called with the topic's lock held.
 func (b *Broker) dispatchLocked(ts *topicState, sub *subscription) {
 	if len(sub.consumers) == 0 {
 		return
@@ -277,6 +315,21 @@ func (b *Broker) dispatchLocked(ts *topicState, sub *subscription) {
 	}
 }
 
+// FNV-1a constants (inlined so KeyShared dispatch allocates nothing).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv1a(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
 func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64) {
 	m := ts.cache[seq]
 	var target *consumerReg
@@ -287,9 +340,7 @@ func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64) {
 		target = sub.consumers[sub.rr%len(sub.consumers)]
 		sub.rr++
 	case KeyShared:
-		h := fnv.New32a()
-		h.Write([]byte(m.Key))
-		target = sub.consumers[int(h.Sum32())%len(sub.consumers)]
+		target = sub.consumers[int(fnv1a(m.Key))%len(sub.consumers)]
 	}
 	sub.pending[seq] = target.id
 	target.inbox.push(m)
@@ -368,12 +419,14 @@ func (b *Broker) loadTopic(topicName string) error {
 
 // backlog returns how many messages a subscription has yet to ack.
 func (b *Broker) backlog(topicName, subName string) (int64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	ts, ok := b.topics[topicName]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoTopic, topicName)
 	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	sub, ok := ts.subs[subName]
 	if !ok {
 		return 0, fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)

@@ -3,29 +3,81 @@ package pulsar
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// ProducerOptions tunes a producer's batching behavior.
+type ProducerOptions struct {
+	// MaxBatch is the number of messages SendAsync buffers per partition
+	// before forcing a flush (a group-commit ledger append). ≤1 disables
+	// batching: every SendAsync publishes immediately. Defaults to the
+	// cluster's ClusterConfig.BatchMaxMessages.
+	MaxBatch int
+	// FlushInterval bounds how stale a buffered message may get: a
+	// SendAsync arriving FlushInterval after the oldest buffered message
+	// flushes the batch even if it is not full. (The producer has no
+	// background timer — an idle tail batch stays buffered until Flush or
+	// the next SendAsync.) Defaults to ClusterConfig.BatchFlushInterval.
+	FlushInterval time.Duration
+}
+
 // Producer publishes messages to a topic (routing across partitions for
 // partitioned topics: by key hash when a key is given, round-robin
-// otherwise).
+// otherwise). With batching enabled (MaxBatch > 1), SendAsync accumulates
+// messages per partition and commits each batch with one replicated ledger
+// round trip.
 type Producer struct {
 	c          *Cluster
 	topic      string
 	partitions int
 	rr         int64
+
+	maxBatch int
+	interval time.Duration
+
+	mu       sync.Mutex
+	pending  map[string]*topicBatch // concrete topic → buffered batch
+	pendingN int
+	firstAt  time.Time // publish-clock time of the oldest buffered message
 }
 
-// CreateProducer opens a producer for an existing topic.
+// topicBatch is the buffered tail of one partition's stream.
+type topicBatch struct {
+	keys     []string
+	payloads [][]byte
+}
+
+// CreateProducer opens a producer for an existing topic with the cluster's
+// default batching configuration.
 func (c *Cluster) CreateProducer(topic string) (*Producer, error) {
+	return c.CreateProducerOpts(topic, ProducerOptions{
+		MaxBatch:      c.cfg.BatchMaxMessages,
+		FlushInterval: c.cfg.BatchFlushInterval,
+	})
+}
+
+// CreateProducerOpts opens a producer with explicit batching options.
+func (c *Cluster) CreateProducerOpts(topic string, opts ProducerOptions) (*Producer, error) {
 	parts, err := c.Partitions(topic)
 	if err != nil {
 		return nil, err
 	}
-	return &Producer{c: c, topic: topic, partitions: parts}, nil
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = 1
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = c.cfg.BatchFlushInterval
+	}
+	return &Producer{
+		c:          c,
+		topic:      topic,
+		partitions: parts,
+		maxBatch:   opts.MaxBatch,
+		interval:   opts.FlushInterval,
+		pending:    map[string]*topicBatch{},
+	}, nil
 }
 
 // Send publishes an unkeyed message and returns its sequence number within
@@ -34,9 +86,19 @@ func (p *Producer) Send(payload []byte) (int64, error) {
 	return p.SendKey("", payload)
 }
 
-// SendKey publishes a keyed message. Keyed messages on partitioned topics
-// always route to the same partition, preserving per-key order.
+// SendKey publishes a keyed message synchronously. Keyed messages on
+// partitioned topics always route to the same partition, preserving per-key
+// order. Any buffered SendAsync messages flush first, so the synchronous
+// message never overtakes them.
 func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
+	p.mu.Lock()
+	if p.pendingN > 0 {
+		if err := p.flushLocked(); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
+	}
+	p.mu.Unlock()
 	t := p.route(key)
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -46,7 +108,7 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 		}
 		seq, err := b.publish(t, key, payload)
 		if err == nil {
-			p.c.meterPublish()
+			p.c.meterPublish(1)
 			return seq, nil
 		}
 		lastErr = err
@@ -58,15 +120,90 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 	return 0, lastErr
 }
 
+// SendAsync buffers a keyed message for batched publication. The batch for
+// its partition commits — one group ledger append — when it reaches
+// MaxBatch messages, when a later SendAsync finds the oldest buffered
+// message older than FlushInterval, or on an explicit Flush. The payload is
+// copied at enqueue time, so the caller may reuse its buffer immediately. A
+// flush error discards that flush's buffered messages (they were never
+// assigned seqs); the caller decides whether to re-send.
+func (p *Producer) SendAsync(key string, payload []byte) error {
+	t := p.route(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tb := p.pending[t]
+	if tb == nil {
+		tb = &topicBatch{}
+		p.pending[t] = tb
+	}
+	tb.keys = append(tb.keys, key)
+	tb.payloads = append(tb.payloads, append([]byte(nil), payload...))
+	if p.pendingN == 0 {
+		p.firstAt = p.c.clock.Now()
+	}
+	p.pendingN++
+	if p.pendingN >= p.maxBatch ||
+		(p.interval > 0 && p.c.clock.Now().Sub(p.firstAt) >= p.interval) {
+		return p.flushLocked()
+	}
+	return nil
+}
+
+// Flush publishes every buffered SendAsync message. It is a no-op on an
+// empty buffer.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+// flushLocked commits each partition's buffered batch. Called with p.mu
+// held. The buffer is cleared regardless of outcome.
+func (p *Producer) flushLocked() error {
+	if p.pendingN == 0 {
+		return nil
+	}
+	pending := p.pending
+	p.pending = map[string]*topicBatch{}
+	p.pendingN = 0
+	var firstErr error
+	for t, tb := range pending {
+		if err := p.publishBatch(t, tb); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// publishBatch commits one partition's batch, re-resolving ownership on
+// broker failover like the synchronous path.
+func (p *Producer) publishBatch(t string, tb *topicBatch) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		b, _, err := p.c.ensureOwner(t)
+		if err != nil {
+			return err
+		}
+		if _, err := b.publishBatch(t, tb.keys, tb.payloads); err == nil {
+			p.c.meterPublish(len(tb.payloads))
+			return nil
+		} else {
+			lastErr = err
+			if !errors.Is(err, ErrBrokerDown) && !errors.Is(err, ErrNoTopic) {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
 func (p *Producer) route(key string) string {
 	if p.partitions <= 0 {
 		return p.topic
 	}
 	var idx int
 	if key != "" {
-		h := fnv.New32a()
-		h.Write([]byte(key))
-		idx = int(h.Sum32()) % p.partitions
+		idx = int(fnv1a(key)) % p.partitions
 	} else {
 		idx = int(atomic.AddInt64(&p.rr, 1)-1) % p.partitions
 	}

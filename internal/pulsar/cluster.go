@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/billing"
 	"repro/internal/coord"
@@ -23,6 +23,14 @@ type ClusterConfig struct {
 	AckQuorum    int
 	// Tenant is billed for publishes. Default "pulsar".
 	Tenant string
+	// BatchMaxMessages is the default per-producer batch size for
+	// SendAsync (messages buffered per partition before a group-commit
+	// ledger append). Default 1 — batching off; Send/SendKey are always
+	// synchronous regardless.
+	BatchMaxMessages int
+	// BatchFlushInterval is the default staleness bound on buffered
+	// messages (see ProducerOptions.FlushInterval). Default 1ms.
+	BatchFlushInterval time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -37,6 +45,12 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.Tenant == "" {
 		c.Tenant = "pulsar"
+	}
+	if c.BatchMaxMessages < 1 {
+		c.BatchMaxMessages = 1
+	}
+	if c.BatchFlushInterval <= 0 {
+		c.BatchFlushInterval = time.Millisecond
 	}
 	return c
 }
@@ -201,16 +215,14 @@ func (c *Cluster) pickBroker(topic string) *Broker {
 	defer c.mu.Unlock()
 	var live []*Broker
 	for _, id := range c.brokerOrder {
-		if b := c.brokers[id]; !b.down {
+		if b := c.brokers[id]; !b.Down() {
 			live = append(live, b)
 		}
 	}
 	if len(live) == 0 {
 		return nil
 	}
-	h := fnv.New32a()
-	h.Write([]byte(topic))
-	return live[int(h.Sum32())%len(live)]
+	return live[int(fnv1a(topic))%len(live)]
 }
 
 // --- metadata helpers ---
@@ -280,9 +292,9 @@ func (c *Cluster) persistCursor(sub *subscription) {
 	_, _ = c.meta.Set(path, raw, coord.AnyVersion)
 }
 
-func (c *Cluster) meterPublish() {
-	if c.meter != nil {
-		c.meter.Add(billing.Record{Tenant: c.cfg.Tenant, Resource: billing.ResMsgPublish, Units: 1, At: c.clock.Now()})
+func (c *Cluster) meterPublish(n int) {
+	if c.meter != nil && n > 0 {
+		c.meter.Add(billing.Record{Tenant: c.cfg.Tenant, Resource: billing.ResMsgPublish, Units: float64(n), At: c.clock.Now()})
 	}
 }
 

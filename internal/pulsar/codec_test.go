@@ -1,0 +1,119 @@
+package pulsar
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Seq: 0, Key: "", Payload: nil, PublishTime: time.Unix(0, 0), Topic: "t"},
+		{Seq: 42, Key: "user-7", Payload: []byte("hello"), PublishTime: time.Unix(1234, 5678), Topic: "events-partition-3"},
+		{Seq: 1 << 40, Key: "ключ", Payload: bytes.Repeat([]byte{0, 1, 2, 0xff}, 100), PublishTime: time.Unix(1700000000, 999999999), Topic: strings.Repeat("long", 50)},
+		{Seq: 9, Key: "{looks-like-json", Payload: []byte(`{"payload":"trap"}`), PublishTime: time.Unix(7, 7), Topic: "x"},
+	}
+	for i, m := range cases {
+		enc := encodeMessage(m)
+		if enc[0] != codecVersion {
+			t.Fatalf("case %d: version byte = 0x%02x", i, enc[0])
+		}
+		got, err := decodeMessage(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Seq != m.Seq || got.Key != m.Key || got.Topic != m.Topic ||
+			!bytes.Equal(got.Payload, m.Payload) ||
+			!got.PublishTime.Equal(m.PublishTime) {
+			t.Fatalf("case %d: round trip = %+v, want %+v", i, got, m)
+		}
+	}
+}
+
+func TestBinaryCodecSmallerThanJSON(t *testing.T) {
+	m := Message{Seq: 123, Key: "k", Payload: bytes.Repeat([]byte("x"), 256), PublishTime: time.Unix(100, 0), Topic: "bench"}
+	bin := encodeMessage(m)
+	js, _ := json.Marshal(m)
+	if len(bin) >= len(js) {
+		t.Fatalf("binary entry (%d bytes) not smaller than JSON (%d bytes)", len(bin), len(js))
+	}
+}
+
+func TestDecodeMessageJSONFallback(t *testing.T) {
+	m := Message{Seq: 5, Key: "k", Payload: []byte("legacy"), PublishTime: time.Unix(9, 9).UTC(), Topic: "old"}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeMessage(raw)
+	if err != nil {
+		t.Fatalf("JSON fallback decode: %v", err)
+	}
+	if got.Seq != m.Seq || got.Key != m.Key || !bytes.Equal(got.Payload, m.Payload) || got.Topic != m.Topic {
+		t.Fatalf("fallback = %+v, want %+v", got, m)
+	}
+}
+
+func TestDecodeMessageRejectsGarbage(t *testing.T) {
+	enc := encodeMessage(Message{Seq: 1, Key: "k", Payload: []byte("p"), Topic: "t", PublishTime: time.Unix(1, 0)})
+	bad := [][]byte{
+		nil,                    // empty
+		{0x7f},                 // unknown version
+		enc[:5],                // truncated header
+		enc[:len(enc)-1],       // truncated payload
+		append([]byte{}, 0x01), // version byte only
+	}
+	for i, b := range bad {
+		if _, err := decodeMessage(b); err == nil {
+			t.Fatalf("case %d: decode of %v succeeded", i, b)
+		}
+	}
+}
+
+// TestJSONLedgerBackwardCompat simulates a topic whose history predates the
+// binary codec: its ledger holds JSON entries. Topic recovery must decode
+// them, and new binary publishes must continue the same stream.
+func TestJSONLedgerBackwardCompat(t *testing.T) {
+	e := newEnv(t, 1, 3)
+	e.v.Run(func() {
+		must(t, e.cluster.CreateTopic("legacy", 0))
+		// Write the pre-codec history directly: a closed ledger of JSON
+		// entries registered as the topic's first ledger.
+		w, err := e.ledgers.CreateLedger(3, 2, 2)
+		must(t, err)
+		for i := 0; i < 3; i++ {
+			m := Message{Seq: int64(i), Key: "k", Payload: []byte(fmt.Sprintf("old-%d", i)), PublishTime: e.v.Now(), Topic: "legacy"}
+			raw, merr := json.Marshal(m)
+			must(t, merr)
+			_, aerr := w.Append(raw)
+			must(t, aerr)
+		}
+		must(t, w.Close())
+		must(t, e.cluster.setTopicLedgers("legacy", []int64{w.ID()}))
+
+		prod, err := e.cluster.CreateProducer("legacy")
+		must(t, err)
+		seq, err := prod.Send([]byte("new-binary"))
+		must(t, err)
+		if seq != 3 {
+			t.Errorf("post-recovery seq = %d, want 3 (JSON backlog counted)", seq)
+		}
+		cons, err := e.cluster.Subscribe("legacy", "s", Exclusive, Earliest)
+		must(t, err)
+		want := []string{"old-0", "old-1", "old-2", "new-binary"}
+		for i, p := range want {
+			m, ok := cons.Receive(time.Second)
+			if !ok {
+				t.Errorf("timed out waiting for message %d", i)
+				return
+			}
+			if string(m.Payload) != p || m.Seq != int64(i) {
+				t.Errorf("message %d = seq %d %q, want seq %d %q", i, m.Seq, m.Payload, i, p)
+			}
+			must(t, cons.Ack(m))
+		}
+	})
+}

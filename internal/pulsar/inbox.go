@@ -1,0 +1,77 @@
+package pulsar
+
+import "sync"
+
+// inboxMinCap is the smallest ring the inbox keeps allocated. Below this the
+// shrink logic leaves the buffer alone — resizing a 16-slot ring buys nothing.
+const inboxMinCap = 16
+
+// inbox is an unbounded per-consumer delivery buffer. It is a growable ring
+// buffer rather than a head-sliced []Message: popping advances a head index
+// instead of re-slicing, consumed slots are zeroed so payloads become
+// collectable immediately, and the ring shrinks once occupancy falls to a
+// quarter of capacity — a long-lived consumer that drained a large backlog
+// does not pin the backlog-sized array forever.
+type inbox struct {
+	mu   sync.Mutex
+	buf  []Message
+	head int // index of the oldest message
+	n    int // live message count
+}
+
+func (in *inbox) push(m Message) {
+	in.mu.Lock()
+	if in.n == len(in.buf) {
+		in.resize(maxInt(2*len(in.buf), inboxMinCap))
+	}
+	in.buf[(in.head+in.n)%len(in.buf)] = m
+	in.n++
+	in.mu.Unlock()
+}
+
+func (in *inbox) pop() (Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.n == 0 {
+		return Message{}, false
+	}
+	m := in.buf[in.head]
+	in.buf[in.head] = Message{} // drop the payload reference for the GC
+	in.head = (in.head + 1) % len(in.buf)
+	in.n--
+	if len(in.buf) > inboxMinCap && in.n <= len(in.buf)/4 {
+		in.resize(maxInt(2*in.n, inboxMinCap))
+	}
+	return m, true
+}
+
+// len reports the buffered message count.
+func (in *inbox) len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}
+
+// capacity reports the ring's allocated slot count (for shrink tests).
+func (in *inbox) capacity() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.buf)
+}
+
+// resize re-homes the live messages into a ring of newCap slots. Called with
+// in.mu held; newCap must be ≥ in.n.
+func (in *inbox) resize(newCap int) {
+	nb := make([]Message, newCap)
+	for i := 0; i < in.n; i++ {
+		nb[i] = in.buf[(in.head+i)%len(in.buf)]
+	}
+	in.buf, in.head = nb, 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

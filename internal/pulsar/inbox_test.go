@@ -1,0 +1,85 @@
+package pulsar
+
+import "testing"
+
+func TestInboxFIFOWithWraparound(t *testing.T) {
+	in := &inbox{}
+	// Interleave pushes and pops so head wraps around the ring repeatedly:
+	// each iteration pushes seqs 2i and 2i+1 and pops one message.
+	next := int64(0)
+	for i := int64(0); i < 100; i++ {
+		in.push(Message{Seq: 2 * i})
+		in.push(Message{Seq: 2*i + 1})
+		m, ok := in.pop()
+		if !ok || m.Seq != next {
+			t.Fatalf("pop %d = (%v, %v), want seq %d", i, m.Seq, ok, next)
+		}
+		next++
+	}
+	for {
+		m, ok := in.pop()
+		if !ok {
+			break
+		}
+		if m.Seq != next {
+			t.Fatalf("drain pop = seq %d, want %d", m.Seq, next)
+		}
+		next++
+	}
+	if next != 200 {
+		t.Fatalf("drained %d messages, want 200", next)
+	}
+}
+
+// TestInboxShrinksAfterDrain pins the memory-retention fix: a consumer that
+// buffered a large backlog must not keep the backlog-sized array alive after
+// draining it (the old head-sliced implementation did).
+func TestInboxShrinksAfterDrain(t *testing.T) {
+	in := &inbox{}
+	const backlog = 4096
+	for i := 0; i < backlog; i++ {
+		in.push(Message{Seq: int64(i), Payload: make([]byte, 16)})
+	}
+	grown := in.capacity()
+	if grown < backlog {
+		t.Fatalf("capacity %d after %d pushes", grown, backlog)
+	}
+	for i := 0; i < backlog; i++ {
+		if _, ok := in.pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if _, ok := in.pop(); ok {
+		t.Fatal("pop on empty inbox succeeded")
+	}
+	if got := in.capacity(); got != inboxMinCap {
+		t.Fatalf("capacity after drain = %d, want shrunk to %d (was %d)", got, inboxMinCap, grown)
+	}
+	// Still usable after shrinking.
+	in.push(Message{Seq: 7})
+	if m, ok := in.pop(); !ok || m.Seq != 7 {
+		t.Fatalf("post-shrink pop = (%+v, %v)", m, ok)
+	}
+}
+
+// TestInboxZeroesConsumedSlots checks popped slots drop their payload
+// references so the GC can reclaim them even before a shrink happens.
+func TestInboxZeroesConsumedSlots(t *testing.T) {
+	in := &inbox{}
+	for i := 0; i < 4; i++ {
+		in.push(Message{Seq: int64(i), Payload: make([]byte, 8)})
+	}
+	in.pop()
+	in.pop()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	zeroed := 0
+	for _, m := range in.buf {
+		if m.Payload == nil && m.Seq == 0 && m.Topic == "" {
+			zeroed++
+		}
+	}
+	if zeroed < 2 {
+		t.Fatalf("only %d slots zeroed after 2 pops (buf %v)", zeroed, len(in.buf))
+	}
+}

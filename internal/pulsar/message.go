@@ -8,7 +8,9 @@
 package pulsar
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"time"
 )
 
@@ -26,15 +28,103 @@ type Message struct {
 	Topic string `json:"topic"`
 }
 
+// Ledger entry wire format. Entries written by current brokers are binary:
+//
+//	byte 0      codecVersion (0x01)
+//	bytes 1-8   Seq, big-endian int64
+//	bytes 9-16  PublishTime, big-endian int64 unix nanoseconds
+//	uvarint     len(Key)   followed by the key bytes
+//	uvarint     len(Topic) followed by the topic bytes
+//	uvarint     len(Payload) followed by the payload bytes
+//
+// Ledgers written before the binary codec hold JSON objects; decodeMessage
+// falls back to JSON when the first byte is '{' (which can never be a valid
+// version byte), so old topics still recover.
+const codecVersion = 0x01
+
+const msgFixedHeader = 1 + 8 + 8 // version + seq + publish time
+
+// encodeMessage serializes m into a single freshly allocated buffer.
 func encodeMessage(m Message) []byte {
-	b, _ := json.Marshal(m)
+	size := msgFixedHeader +
+		uvarintLen(uint64(len(m.Key))) + len(m.Key) +
+		uvarintLen(uint64(len(m.Topic))) + len(m.Topic) +
+		uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	b := make([]byte, size)
+	b[0] = codecVersion
+	binary.BigEndian.PutUint64(b[1:], uint64(m.Seq))
+	binary.BigEndian.PutUint64(b[9:], uint64(m.PublishTime.UnixNano()))
+	off := msgFixedHeader
+	off += binary.PutUvarint(b[off:], uint64(len(m.Key)))
+	off += copy(b[off:], m.Key)
+	off += binary.PutUvarint(b[off:], uint64(len(m.Topic)))
+	off += copy(b[off:], m.Topic)
+	off += binary.PutUvarint(b[off:], uint64(len(m.Payload)))
+	copy(b[off:], m.Payload)
 	return b
 }
 
+// decodeMessage parses a ledger entry in either the binary format or the
+// legacy JSON format. The returned Message's Payload may alias b.
 func decodeMessage(b []byte) (Message, error) {
-	var m Message
-	err := json.Unmarshal(b, &m)
-	return m, err
+	if len(b) == 0 {
+		return Message{}, fmt.Errorf("pulsar: empty ledger entry")
+	}
+	if b[0] == '{' { // legacy JSON entry
+		var m Message
+		err := json.Unmarshal(b, &m)
+		return m, err
+	}
+	if b[0] != codecVersion {
+		return Message{}, fmt.Errorf("pulsar: unknown entry codec version 0x%02x", b[0])
+	}
+	if len(b) < msgFixedHeader {
+		return Message{}, fmt.Errorf("pulsar: truncated entry header (%d bytes)", len(b))
+	}
+	m := Message{
+		Seq:         int64(binary.BigEndian.Uint64(b[1:])),
+		PublishTime: time.Unix(0, int64(binary.BigEndian.Uint64(b[9:]))),
+	}
+	off := msgFixedHeader
+	key, off, err := readLenPrefixed(b, off)
+	if err != nil {
+		return Message{}, fmt.Errorf("pulsar: bad entry key: %w", err)
+	}
+	m.Key = string(key)
+	topic, off, err := readLenPrefixed(b, off)
+	if err != nil {
+		return Message{}, fmt.Errorf("pulsar: bad entry topic: %w", err)
+	}
+	m.Topic = string(topic)
+	payload, _, err := readLenPrefixed(b, off)
+	if err != nil {
+		return Message{}, fmt.Errorf("pulsar: bad entry payload: %w", err)
+	}
+	m.Payload = payload
+	return m, nil
+}
+
+// readLenPrefixed reads a uvarint length then that many bytes from b[off:].
+func readLenPrefixed(b []byte, off int) ([]byte, int, error) {
+	n, sz := binary.Uvarint(b[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("bad length prefix at offset %d", off)
+	}
+	off += sz
+	if uint64(len(b)-off) < n {
+		return nil, 0, fmt.Errorf("field of %d bytes exceeds entry (%d left)", n, len(b)-off)
+	}
+	return b[off : off+int(n)], off + int(n), nil
+}
+
+// uvarintLen returns how many bytes binary.PutUvarint needs for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // SubMode selects a subscription's dispatch semantics (§4.3: Pulsar

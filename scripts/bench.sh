@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the data-plane micro-benchmarks with
+# -benchmem and writes a JSON snapshot (ns/op, B/op, allocs/op per
+# benchmark) so successive PRs can diff the perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json]        # default output: BENCH.json
+#   BENCH_PATTERN='BenchmarkPulsar.*' scripts/bench.sh  # narrow the sweep
+#   BENCH_TIME=300000x scripts/bench.sh   # fixed iterations (fair diffs)
+#
+# Experiment benchmarks (one full simulation per iteration) are excluded by
+# default; they honor `go test -short`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain}"
+benchtime="${BENCH_TIME:-1s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns = "null"; bytes = "null"; allocs = "null"
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns     = $(i-1)
+    if ($i == "B/op")      bytes  = $(i-1)
+    if ($i == "allocs/op") allocs = $(i-1)
+  }
+  printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, bytes, allocs
+  sep = ",\n  "
+}
+BEGIN { printf "[\n  " }
+END   { print  "\n]" }
+' "$tmp" > "$out"
+echo "wrote $out"

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: vet, build, race-enabled tests. Heavy experiment benchmarks
+# and simulations honor `-short`, keeping this suitable for CI / pre-commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race -short ./..."
+go test -race -short ./...
+echo "tier-1 gate OK"
