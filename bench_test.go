@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faas"
 	"repro/internal/jiffy"
+	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
 	"repro/internal/sketch"
@@ -127,6 +128,67 @@ func BenchmarkPulsarPublish(b *testing.B) {
 			}
 			if err := prod.Flush(); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead quantifies what platform observability costs: the raw
+// instrument primitives (striped counter, histogram observe, and their nil
+// no-op forms), and the full Pulsar sync publish path with the registry
+// attached versus core.Options{DisableObs: true}. The on/off publish pair is
+// the number that matters — it bounds the tax every instrumented hot path
+// pays.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		c := obs.New(nil).Counter("bench.counter")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("counter-inc-nil", func(b *testing.B) {
+		var c *obs.Counter
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := obs.New(nil).Histogram("bench.hist")
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	})
+	b.Run("histogram-observe-nil", func(b *testing.B) {
+		var h *obs.Histogram
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	})
+	payload := workload.Payload(256, 1)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"publish-obs-on", false},
+		{"publish-obs-off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := core.New(core.Options{PulsarBatchMax: 1, PulsarFlushInterval: time.Hour, DisableObs: mode.disable})
+			if err := p.Pulsar.CreateTopic("bench", 0); err != nil {
+				b.Fatal(err)
+			}
+			prod, err := p.Pulsar.CreateProducer("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prod.Send(payload); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

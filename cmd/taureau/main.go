@@ -12,6 +12,13 @@
 //	taureau -demo state       # Jiffy namespaces, scaling, leases
 //	taureau -demo oram        # Path ORAM access-pattern hiding (§6)
 //	taureau -list             # list demos
+//
+// Telemetry:
+//
+//	taureau -demo invoke -metrics                # metrics dump after the demo
+//	taureau -demo stream -metrics -format prom   # Prometheus text exposition
+//	taureau -demo pipeline -trace                # trace spans as a JSON list
+//	taureau -demo stream -serve :9090            # keep serving /metrics + pprof
 package main
 
 import (
@@ -30,14 +37,12 @@ import (
 	"repro/internal/oram"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
+	"repro/internal/simclock"
 	"repro/internal/sketch"
 	"repro/internal/workload"
 )
 
-var demos = map[string]func(*core.Platform, interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}){
+var demos = map[string]func(*core.Platform, simclock.Clock){
 	"invoke":   demoInvoke,
 	"pipeline": demoPipeline,
 	"stream":   demoStream,
@@ -47,8 +52,12 @@ var demos = map[string]func(*core.Platform, interface {
 
 func main() {
 	var (
-		demo = flag.String("demo", "invoke", "demo scenario to run")
-		list = flag.Bool("list", false, "list demos and exit")
+		demo    = flag.String("demo", "invoke", "demo scenario to run")
+		list    = flag.Bool("list", false, "list demos and exit")
+		metrics = flag.Bool("metrics", false, "dump platform metrics after the demo")
+		format  = flag.String("format", "text", "metrics dump format: text, prom, or json")
+		trace   = flag.Bool("trace", false, "dump collected trace spans as JSON after the demo")
+		serve   = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace and pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	if *list {
@@ -75,12 +84,43 @@ func main() {
 		fmt.Print(platform.Invoice(tenant))
 	}
 	fmt.Printf("simulated time: %v\n", platform.Elapsed())
+
+	if *metrics {
+		fmt.Println()
+		var err error
+		switch *format {
+		case "text":
+			err = platform.Obs.WriteText(os.Stdout)
+		case "prom":
+			err = platform.Obs.WritePrometheus(os.Stdout)
+		case "json":
+			err = platform.Obs.WriteJSON(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -format %q; use text, prom, or json\n", *format)
+			os.Exit(1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *trace {
+		out, err := platform.Obs.Tracer().ExportJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		os.Stdout.Write(out)
+		fmt.Println()
+	}
+	if *serve != "" {
+		fmt.Printf("\nserving /metrics, /metrics.json, /trace and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
+		if err := platform.Obs.Serve(*serve); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-func demoInvoke(p *core.Platform, clock interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}) {
+func demoInvoke(p *core.Platform, clock simclock.Clock) {
 	if err := p.Register("hello", "demo", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		ctx.Work(30 * time.Millisecond)
 		return []byte(fmt.Sprintf("hello %s", in)), nil
@@ -96,10 +136,7 @@ func demoInvoke(p *core.Platform, clock interface {
 	}
 }
 
-func demoPipeline(p *core.Platform, clock interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}) {
+func demoPipeline(p *core.Platform, clock simclock.Clock) {
 	if err := p.Blob.CreateBucket("in", "demo"); err != nil {
 		log.Fatal(err)
 	}
@@ -137,10 +174,7 @@ func demoPipeline(p *core.Platform, clock interface {
 	fmt.Printf("pipeline ran %d times; sample output tail: %q\n", len(results), tail(results))
 }
 
-func demoStream(p *core.Platform, clock interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}) {
+func demoStream(p *core.Platform, clock simclock.Clock) {
 	if err := p.Pulsar.CreateTopic("clicks", 2); err != nil {
 		log.Fatal(err)
 	}
@@ -170,10 +204,7 @@ func demoStream(p *core.Platform, clock interface {
 	fmt.Printf("processed %d events; estimate(key-0) = %d\n", fn.Processed(), cm.Estimate("key-0"))
 }
 
-func demoState(p *core.Platform, clock interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}) {
+func demoState(p *core.Platform, clock simclock.Clock) {
 	app, err := p.Jiffy.CreateNamespace("/demo", jiffy.NamespaceOptions{Lease: time.Minute})
 	if err != nil {
 		log.Fatal(err)
@@ -204,10 +235,7 @@ func demoState(p *core.Platform, clock interface {
 	fmt.Printf("after lease expiry: pool free = %d (state reclaimed)\n", p.Jiffy.FreeBlocks())
 }
 
-func demoORAM(p *core.Platform, clock interface {
-	Sleep(time.Duration)
-	Now() time.Time
-}) {
+func demoORAM(p *core.Platform, clock simclock.Clock) {
 	if err := p.Blob.CreateBucket("secure", "demo"); err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package billing
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -166,5 +167,59 @@ func TestMeterConcurrentAdds(t *testing.T) {
 	}
 	if got := m.Units("t", "r"); got != 8000 {
 		t.Fatalf("Units = %v, want 8000", got)
+	}
+}
+
+// TestMeterConcurrentRecordInvoice hammers the Meter with concurrent writers
+// (Add, AddInvocation) and readers (Invoice, Units, Tenants, Records) — the
+// pattern a live platform produces when the billing surface is scraped while
+// traffic flows. Run under -race this proves the Meter's locking covers every
+// public method, not just Add.
+func TestMeterConcurrentRecordInvoice(t *testing.T) {
+	m := NewMeter()
+	p := DefaultPricing()
+	tenants := []string{"acme", "globex", "initech"}
+	const writers, perWriter = 6, 500
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := tenants[i%len(tenants)]
+			for j := 0; j < perWriter; j++ {
+				m.Add(Record{Tenant: tenant, Resource: ResMsgPublish, Units: 1})
+				m.AddInvocation(tenant, 42*time.Millisecond, 128, time.Time{})
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				for _, tenant := range m.Tenants() {
+					inv := m.Invoice(tenant, p)
+					if inv.Total < 0 {
+						t.Errorf("negative invoice total for %s", tenant)
+						return
+					}
+				}
+				_ = m.Units(tenants[j%len(tenants)], ResInvocationReqs)
+				_ = m.Records()
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantPub := float64(writers * perWriter / len(tenants))
+	for _, tenant := range tenants {
+		if got := m.Units(tenant, ResMsgPublish); got != wantPub {
+			t.Errorf("Units(%s, publish) = %v, want %v", tenant, got, wantPub)
+		}
+		if got := m.Units(tenant, ResInvocationReqs); got != wantPub {
+			t.Errorf("Units(%s, requests) = %v, want %v", tenant, got, wantPub)
+		}
 	}
 }

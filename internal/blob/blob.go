@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -99,11 +100,21 @@ type Store struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 	subs    []func(Event)
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obsPutLat *obs.Histogram
+	obsGetLat *obs.Histogram
 }
 
 // New creates a Store. meter may be nil to disable metering.
 func New(clock simclock.Clock, meter *billing.Meter, latency LatencyModel) *Store {
 	return &Store{clock: clock, meter: meter, latency: latency, buckets: map[string]*bucket{}}
+}
+
+// SetObs attaches observability instruments. Call before traffic starts.
+func (s *Store) SetObs(r *obs.Registry) {
+	s.obsPutLat = r.Histogram("blob.put.latency")
+	s.obsGetLat = r.Histogram("blob.get.latency")
 }
 
 // Subscribe registers fn to receive an Event after every mutation. Handlers
@@ -165,6 +176,10 @@ type PutOptions struct {
 // Put writes an object version and returns its info. The calling goroutine
 // pays the modelled transfer latency.
 func (s *Store) Put(bucketName, key string, data []byte, opts PutOptions) (ObjectInfo, error) {
+	if s.obsPutLat != nil {
+		start := s.clock.Now()
+		defer func() { s.obsPutLat.Observe(s.clock.Now().Sub(start)) }()
+	}
 	s.clock.Sleep(s.latency.Cost(len(data)))
 
 	s.mu.Lock()
@@ -222,6 +237,10 @@ func (s *Store) Put(bucketName, key string, data []byte, opts PutOptions) (Objec
 // Get returns the latest version of an object. The calling goroutine pays the
 // modelled transfer latency.
 func (s *Store) Get(bucketName, key string) ([]byte, ObjectInfo, error) {
+	if s.obsGetLat != nil {
+		start := s.clock.Now()
+		defer func() { s.obsGetLat.Observe(s.clock.Now().Sub(start)) }()
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {

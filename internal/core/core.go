@@ -20,6 +20,7 @@ import (
 	"repro/internal/jiffy"
 	"repro/internal/kvdb"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
 	"repro/internal/queue"
@@ -56,6 +57,13 @@ type Options struct {
 	// Pricing converts metered usage to dollars. Default
 	// billing.DefaultPricing().
 	Pricing billing.Pricing
+	// Obs is the observability registry threaded through every subsystem.
+	// Nil creates a fresh registry on the platform clock; set DisableObs to
+	// run fully uninstrumented instead.
+	Obs *obs.Registry
+	// DisableObs turns platform observability off: subsystems get nil
+	// instruments and their hot paths pay only a predicted branch.
+	DisableObs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +103,9 @@ type Platform struct {
 	Clock   simclock.Clock
 	Meter   *billing.Meter
 	Pricing billing.Pricing
+	// Obs is the platform's metrics registry and tracer (nil when built with
+	// DisableObs).
+	Obs *obs.Registry
 
 	// FaaS is the function platform (§4.1).
 	FaaS *faas.Platform
@@ -122,6 +133,11 @@ func New(opts Options) *Platform {
 	clock := opts.Clock
 	meter := billing.NewMeter()
 
+	reg := opts.Obs
+	if reg == nil && !opts.DisableObs {
+		reg = obs.New(clock)
+	}
+
 	meta := coord.NewStore(clock)
 	ledgers := ledger.NewSystem(clock, meta)
 	for i := 0; i < opts.Bookies; i++ {
@@ -142,20 +158,36 @@ func New(opts Options) *Platform {
 		jf.AddNode(fmt.Sprintf("mem-%d", i), opts.BlocksPerNode)
 	}
 	fp := faas.New(clock, meter)
+	blobStore := blob.New(clock, meter, opts.BlobLatency)
+	queueSvc := queue.New(clock, meter)
+	db := kvdb.New(clock, meter)
+	engine := orchestrate.NewEngine(fp)
+
+	// Attach instrumentation before any traffic. With DisableObs (nil reg)
+	// every subsystem gets nil instruments and stays no-op.
+	ledgers.SetObs(reg)
+	cluster.SetObs(reg)
+	jf.SetObs(reg)
+	fp.SetObs(reg)
+	blobStore.SetObs(reg)
+	queueSvc.SetObs(reg)
+	db.SetObs(reg)
+	engine.SetObs(reg)
 
 	return &Platform{
 		Clock:        clock,
 		Meter:        meter,
 		Pricing:      opts.Pricing,
+		Obs:          reg,
 		FaaS:         fp,
-		Blob:         blob.New(clock, meter, opts.BlobLatency),
-		Queue:        queue.New(clock, meter),
-		DB:           kvdb.New(clock, meter),
+		Blob:         blobStore,
+		Queue:        queueSvc,
+		DB:           db,
 		Coord:        meta,
 		Ledgers:      ledgers,
 		Pulsar:       cluster,
 		Jiffy:        jf,
-		Orchestrator: orchestrate.NewEngine(fp),
+		Orchestrator: engine,
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/simclock"
 )
@@ -201,11 +202,35 @@ type Platform struct {
 
 	cluster *scheduler.Cluster
 	penalty float64 // slowdown per same-dominant co-resident
+
+	// Pre-resolved observability handles; nil (all no-ops) until SetObs.
+	obsCold       *obs.Counter
+	obsWarm       *obs.Counter
+	obsThrottled  *obs.Counter
+	obsTimeout    *obs.Counter
+	obsFailure    *obs.Counter
+	obsQueueWait  *obs.Histogram
+	obsHandlerLat *obs.Histogram
+	obsInvokeLat  *obs.Histogram
 }
 
 // New creates an empty Platform. meter may be nil to disable billing.
 func New(clock simclock.Clock, meter *billing.Meter) *Platform {
 	return &Platform{clock: clock, meter: meter, functions: map[string]*function{}}
+}
+
+// SetObs attaches observability instruments. Handles are resolved once here
+// so the invoke path touches only atomics; a nil registry yields nil
+// instruments, whose methods are no-ops.
+func (p *Platform) SetObs(r *obs.Registry) {
+	p.obsCold = r.Counter("faas.invoke.cold")
+	p.obsWarm = r.Counter("faas.invoke.warm")
+	p.obsThrottled = r.Counter("faas.invoke.throttled")
+	p.obsTimeout = r.Counter("faas.invoke.timeout")
+	p.obsFailure = r.Counter("faas.invoke.failure")
+	p.obsQueueWait = r.Histogram("faas.queue.wait")
+	p.obsHandlerLat = r.Histogram("faas.handler.latency")
+	p.obsInvokeLat = r.Histogram("faas.invoke.latency")
 }
 
 // Clock returns the platform's clock (handlers and triggers share it).
@@ -361,6 +386,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		if fn.running+len(fn.idle) >= fn.cfg.MaxConcurrency {
 			fn.throttles++
 			fn.mu.Unlock()
+			p.obsThrottled.Inc()
 			return Result{}, fmt.Errorf("%w: %q at %d", ErrThrottled, name, fn.cfg.MaxConcurrency)
 		}
 		fn.nextInst++
@@ -369,6 +395,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			fn.nextInst--
 			fn.throttles++
 			fn.mu.Unlock()
+			p.obsThrottled.Inc()
 			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
 		}
 		cold = true
@@ -381,10 +408,14 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 
 	// Pay start latency.
 	if cold {
+		p.obsCold.Inc()
 		p.clock.Sleep(fn.cfg.ColdStart)
 	} else {
+		p.obsWarm.Inc()
 		p.clock.Sleep(fn.cfg.WarmStart)
 	}
+	execStart := p.clock.Now()
+	p.obsQueueWait.Observe(execStart.Sub(start))
 
 	// Execute with the time-limit budget.
 	ctx := &Ctx{
@@ -404,6 +435,8 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	}
 
 	end := p.clock.Now()
+	p.obsHandlerLat.Observe(end.Sub(execStart))
+	p.obsInvokeLat.Observe(end.Sub(start))
 	execDur := ctx.worked
 	if execDur == 0 {
 		// Handlers that do no modelled work still bill a minimum granule.
@@ -428,8 +461,10 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
 			fn.timeouts++
+			p.obsTimeout.Inc()
 		}
 		fn.failures++
+		p.obsFailure.Inc()
 	}
 	fn.recordLocked(end)
 	fn.mu.Unlock()

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -167,6 +168,24 @@ type Controller struct {
 	root  map[string]*Namespace // top-level namespaces by first path part
 	all   map[string]*Namespace
 	flush FlushTarget
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obsAlloc     *obs.Counter
+	obsFree      *obs.Counter
+	obsLeaseExp  *obs.Counter
+	obsInUse     *obs.Gauge
+	obsOccupancy *obs.Histogram
+	obsOpLat     *obs.Histogram
+}
+
+// SetObs attaches observability instruments. Call before traffic starts.
+func (c *Controller) SetObs(r *obs.Registry) {
+	c.obsAlloc = r.Counter("jiffy.block.alloc")
+	c.obsFree = r.Counter("jiffy.block.free")
+	c.obsLeaseExp = r.Counter("jiffy.lease.expired")
+	c.obsInUse = r.Gauge("jiffy.blocks.inuse")
+	c.obsOccupancy = r.ValueHistogram("jiffy.block.occupancy")
+	c.obsOpLat = r.Histogram("jiffy.op.latency")
 }
 
 // NewController creates an empty controller. meter may be nil.
@@ -332,13 +351,20 @@ func (c *Controller) allocBlockLocked() (*block, error) {
 		return nil, ErrNoCapacity
 	}
 	best.inUse++
+	c.obsAlloc.Inc()
+	c.obsInUse.Add(1)
 	return &block{node: best, kv: map[string][]byte{}, since: c.clock.Now()}, nil
 }
 
 func (c *Controller) freeBlocksLocked(blocks []*block) {
 	now := c.clock.Now()
+	if n := len(blocks); n > 0 {
+		c.obsFree.Add(int64(n))
+		c.obsInUse.Add(-float64(n))
+	}
 	for _, b := range blocks {
 		b.node.inUse--
+		c.obsOccupancy.ObserveValue(int64(b.used))
 		if c.meter != nil {
 			held := now.Sub(b.since).Seconds()
 			c.meter.Add(billing.Record{
@@ -369,6 +395,7 @@ func (c *Controller) reapLocked() {
 	})
 	for _, ns := range expired {
 		if _, still := c.all[ns.path]; still {
+			c.obsLeaseExp.Inc()
 			c.removeLocked(ns, true)
 		}
 	}

@@ -162,6 +162,11 @@ func (ns *Namespace) rehashLocked(oldCount int) int {
 // target block is full and pool capacity allows.
 func (ns *Namespace) Put(key string, value []byte) error {
 	c := ns.ctrl
+	var start time.Time
+	if c.obsOpLat != nil {
+		start = c.clock.Now()
+		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
+	}
 	c.cfg.Latency.sleep(c.clock, len(value))
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -207,6 +212,11 @@ func (ns *Namespace) growLocked() error {
 // Get returns the value for key.
 func (ns *Namespace) Get(key string) ([]byte, error) {
 	c := ns.ctrl
+	var start time.Time
+	if c.obsOpLat != nil {
+		start = c.clock.Now()
+		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
+	}
 	c.mu.Lock()
 	c.reapLocked()
 	if _, ok := c.all[ns.path]; !ok {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -66,11 +67,23 @@ type DB struct {
 	mu     sync.Mutex
 	ts     int64 // commit timestamp oracle
 	tables map[string]*table
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obsGetLat    *obs.Histogram
+	obsCommitLat *obs.Histogram
+	obsConflicts *obs.Counter
 }
 
 // New creates an empty DB. meter may be nil.
 func New(clock simclock.Clock, meter *billing.Meter) *DB {
 	return &DB{clock: clock, meter: meter, tables: map[string]*table{}}
+}
+
+// SetObs attaches observability instruments. Call before traffic starts.
+func (db *DB) SetObs(r *obs.Registry) {
+	db.obsGetLat = r.Histogram("kvdb.get.latency")
+	db.obsCommitLat = r.Histogram("kvdb.commit.latency")
+	db.obsConflicts = r.Counter("kvdb.txn.conflicts")
 }
 
 // CreateTable makes a table billed to tenant, with secondary indexes on the
@@ -132,6 +145,10 @@ func (db *DB) Begin() *Txn {
 func (tx *Txn) Get(tableName, pk string) (Row, bool, error) {
 	if tx.done {
 		return nil, false, ErrTxnDone
+	}
+	if tx.db.obsGetLat != nil {
+		start := tx.db.clock.Now()
+		defer func() { tx.db.obsGetLat.Observe(tx.db.clock.Now().Sub(start)) }()
 	}
 	if w, ok := tx.writes[writeKey{tableName, pk}]; ok {
 		if w.deleted {
@@ -292,6 +309,10 @@ func (tx *Txn) Commit() error {
 	if len(tx.writes) == 0 {
 		return nil
 	}
+	if tx.db.obsCommitLat != nil {
+		start := tx.db.clock.Now()
+		defer func() { tx.db.obsCommitLat.Observe(tx.db.clock.Now().Sub(start)) }()
+	}
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
 	// First-committer-wins validation.
@@ -301,6 +322,7 @@ func (tx *Txn) Commit() error {
 			return fmt.Errorf("%w: %q", ErrNoTable, k.table)
 		}
 		if vs := t.rows[k.pk]; len(vs) > 0 && vs[len(vs)-1].commitTS > tx.readTS {
+			tx.db.obsConflicts.Inc()
 			return fmt.Errorf("%w: key %s/%s", ErrConflict, k.table, k.pk)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -170,6 +171,20 @@ type System struct {
 	bookies map[string]*Bookie
 	order   []string // registration order, for deterministic ensembles
 	nextID  int64
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obsAppends   *obs.Counter
+	obsAppendLat *obs.Histogram
+	obsFanIn     *obs.Histogram
+	obsReadLat   *obs.Histogram
+}
+
+// SetObs attaches observability instruments. Call before traffic starts.
+func (s *System) SetObs(r *obs.Registry) {
+	s.obsAppends = r.Counter("ledger.append.entries")
+	s.obsAppendLat = r.Histogram("ledger.append.latency")
+	s.obsFanIn = r.ValueHistogram("ledger.append.batch.fanin")
+	s.obsReadLat = r.Histogram("ledger.read.latency")
 }
 
 // NewSystem creates a ledger system using meta for metadata.
@@ -246,12 +261,21 @@ func (w *Writer) Append(data []byte) (int64, error) {
 	if w.closed {
 		return 0, ErrWriterClosed
 	}
+	var start time.Time
+	if w.sys.obsAppendLat != nil {
+		start = w.sys.clock.Now()
+	}
 	w.sys.clock.Sleep(w.sys.AppendLatency)
 	entryID := w.next
 	if err := w.replicate(entryID, data); err != nil {
 		return 0, err
 	}
 	w.next++
+	w.sys.obsAppends.Inc()
+	w.sys.obsFanIn.ObserveValue(1)
+	if !start.IsZero() {
+		w.sys.obsAppendLat.Observe(w.sys.clock.Now().Sub(start))
+	}
 	return entryID, nil
 }
 
@@ -272,12 +296,21 @@ func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
 	if len(entries) == 0 {
 		return first, nil
 	}
+	var start time.Time
+	if w.sys.obsAppendLat != nil {
+		start = w.sys.clock.Now()
+	}
 	w.sys.clock.Sleep(w.sys.AppendLatency)
 	for _, data := range entries {
 		if err := w.replicate(w.next, data); err != nil {
 			return first, err
 		}
 		w.next++
+	}
+	w.sys.obsAppends.Add(int64(len(entries)))
+	w.sys.obsFanIn.ObserveValue(int64(len(entries)))
+	if !start.IsZero() {
+		w.sys.obsAppendLat.Observe(w.sys.clock.Now().Sub(start))
 	}
 	return first, nil
 }
@@ -354,7 +387,16 @@ func (r *Reader) Read(entryID int64) ([]byte, error) {
 	if entryID < 0 || entryID > r.meta.LastEntry {
 		return nil, fmt.Errorf("%w: %d (last is %d)", ErrNoEntry, entryID, r.meta.LastEntry)
 	}
+	var start time.Time
+	if r.sys.obsReadLat != nil {
+		start = r.sys.clock.Now()
+	}
 	r.sys.clock.Sleep(r.sys.ReadLatency)
+	defer func() {
+		if !start.IsZero() {
+			r.sys.obsReadLat.Observe(r.sys.clock.Now().Sub(start))
+		}
+	}()
 	var lastErr error
 	for j := 0; j < r.meta.WriteQuorum; j++ {
 		bid := r.meta.Ensemble[int(entryID+int64(j))%len(r.meta.Ensemble)]

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// promName sanitizes an instrument name into the Prometheus exposition
+// alphabet: dots and dashes become underscores, anything else non-alphanumeric
+// is dropped.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		case c == '.', c == '-', c == '/', c == ':':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format:
+// counters and gauges as-is, histograms as summaries (quantile labels plus
+// _sum and _count, seconds units). No-op on nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		// Latency histograms export in seconds; value histograms (batch
+		// sizes, fan-in) export their raw units.
+		toUnit := func(d time.Duration) float64 { return d.Seconds() }
+		n := promName(h.Name) + "_seconds"
+		if h.Unit == "count" {
+			toUnit = func(d time.Duration) float64 { return float64(d) }
+			n = promName(h.Name)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{
+			{"0.5", toUnit(h.P50)},
+			{"0.95", toUnit(h.P95)},
+			{"0.99", toUnit(h.P99)},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, toUnit(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry snapshot as indented JSON. No-op on nil.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText renders a compact human-readable dump: counters, gauges, then
+// histograms with count/mean/p50/p95/p99/max. No-op on nil.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "%-40s %12d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if _, err := fmt.Fprintf(w, "%-40s %12g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Unit == "count" {
+			if _, err := fmt.Fprintf(w, "%-40s n=%-8d mean=%-12d p50=%-12d p95=%-12d p99=%-12d max=%d\n",
+				h.Name, h.Count, int64(h.Mean), int64(h.P50), int64(h.P95), int64(h.P99), int64(h.Max)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-40s n=%-8d mean=%-12v p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

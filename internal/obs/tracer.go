@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// DefaultMaxSpans bounds how many finished spans a Tracer retains. Beyond
+// the cap new spans are counted but dropped, so a long-running simulation
+// cannot grow memory without bound.
+const DefaultMaxSpans = 16384
+
+// SpanData is one finished span. Timestamps come from the tracer's clock:
+// deterministic simulated instants under simclock.Virtual, wall time under
+// simclock.Real.
+type SpanData struct {
+	TraceID  int64         `json:"trace_id"`
+	SpanID   int64         `json:"span_id"`
+	ParentID int64         `json:"parent_id,omitempty"` // 0 for roots
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is an in-flight span. All methods are nil-safe no-ops so callers can
+// trace unconditionally against a nil tracer.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// Tracer creates and collects spans.
+type Tracer struct {
+	clock  simclock.Clock
+	nextID int64
+
+	// full flips once the retained buffer reaches maxSpans; from then on
+	// StartSpan/StartChild return nil spans so steady-state tracing after the
+	// cap costs one atomic load, not an allocation per span.
+	full atomic.Bool
+
+	mu       sync.Mutex
+	finished []SpanData
+	dropped  int64
+	maxSpans int
+}
+
+func newTracer(clock simclock.Clock) *Tracer {
+	return &Tracer{clock: clock, maxSpans: DefaultMaxSpans}
+}
+
+// NewTracer creates a standalone tracer on the given clock (nil → real).
+func NewTracer(clock simclock.Clock) *Tracer {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return newTracer(clock)
+}
+
+// SetMaxSpans adjusts the retained-span cap (≤0 restores the default).
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxSpans
+	}
+	t.mu.Lock()
+	t.maxSpans = n
+	t.full.Store(len(t.finished) >= n)
+	t.mu.Unlock()
+}
+
+// StartSpan opens a root span, beginning a new trace. Nil tracer → nil span;
+// a tracer whose retention buffer is full also returns nil (counted as
+// dropped), so capped tracing stays allocation-free.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.full.Load() {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	id := atomic.AddInt64(&t.nextID, 1)
+	return &Span{tracer: t, data: SpanData{
+		TraceID: id,
+		SpanID:  id,
+		Name:    name,
+		Start:   t.clock.Now(),
+	}}
+}
+
+// StartChild opens a child span in the same trace. Nil span → nil child.
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	t := sp.tracer
+	if t.full.Load() {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	return &Span{tracer: t, data: SpanData{
+		TraceID:  sp.data.TraceID,
+		SpanID:   atomic.AddInt64(&t.nextID, 1),
+		ParentID: sp.data.SpanID,
+		Name:     name,
+		Start:    t.clock.Now(),
+	}}
+}
+
+// SetAttr annotates the span. No-op on nil or after End.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if !sp.ended {
+		sp.data.Attrs = append(sp.data.Attrs, Attr{Key: key, Value: value})
+	}
+	sp.mu.Unlock()
+}
+
+// TraceID returns the span's trace id (0 on nil).
+func (sp *Span) TraceID() int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.data.TraceID
+}
+
+// End finishes the span, recording it with the tracer. Idempotent; no-op on
+// nil.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	sp.data.Duration = sp.tracer.clock.Now().Sub(sp.data.Start)
+	data := sp.data
+	sp.mu.Unlock()
+
+	t := sp.tracer
+	t.mu.Lock()
+	if len(t.finished) < t.maxSpans {
+		t.finished = append(t.finished, data)
+		if len(t.finished) >= t.maxSpans {
+			t.full.Store(true)
+		}
+	} else {
+		// In-flight spans started just before the buffer filled.
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of all finished spans, in completion order. Empty on
+// nil.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.finished...)
+}
+
+// Dropped reports how many spans were discarded at the retention cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all finished spans (the drop counter too).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.finished = nil
+	t.dropped = 0
+	t.full.Store(false)
+	t.mu.Unlock()
+}
+
+// ExportJSON renders the finished spans as a JSON array — the trace format
+// the EXPERIMENTS.md analyses consume. Returns "[]" on a nil tracer.
+func (t *Tracer) ExportJSON() ([]byte, error) {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []SpanData{}
+	}
+	return json.MarshalIndent(spans, "", "  ")
+}

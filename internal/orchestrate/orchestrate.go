@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/faas"
+	"repro/internal/obs"
 )
 
 // Errors returned by the engine.
@@ -168,6 +169,26 @@ func (t *Trace) add(at time.Time, kind, detail string) {
 type execCtx struct {
 	trace *Trace
 	depth int
+	span  *obs.Span // current parent span; nil when tracing is off
+}
+
+// childCtx opens a child span named prefix+name under the execution's
+// current span and returns a derived context carrying it. With tracing off
+// (nil span, or the tracer's retention buffer full) both returns are no-ops /
+// the receiver itself, and the name is never materialized — hot paths pay no
+// concat allocation.
+func (ec *execCtx) childCtx(prefix, name string) (*obs.Span, *execCtx) {
+	if ec.span == nil {
+		return nil, ec
+	}
+	if prefix != "" {
+		name = prefix + name
+	}
+	sp := ec.span.StartChild(name)
+	if sp == nil {
+		return nil, ec
+	}
+	return sp, &execCtx{trace: ec.trace, depth: ec.depth, span: sp}
 }
 
 // Engine interprets state machines against a FaaS platform.
@@ -176,11 +197,24 @@ type Engine struct {
 
 	mu           sync.Mutex
 	compositions map[string]State
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obs      *obs.Registry
+	obsExecs *obs.Counter
+	obsSteps *obs.Counter
 }
 
 // NewEngine creates an engine bound to a platform.
 func NewEngine(p *faas.Platform) *Engine {
 	return &Engine{platform: p, compositions: map[string]State{}}
+}
+
+// SetObs attaches observability instruments. Every Execute then produces one
+// trace: a root span with one child span per step.
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.obs = r
+	e.obsExecs = r.Counter("orchestrate.executions")
+	e.obsSteps = r.Counter("orchestrate.steps")
 }
 
 // RegisterComposition names a state machine so that Task(name) can invoke it
@@ -196,15 +230,30 @@ func (e *Engine) RegisterComposition(name string, sm State) error {
 	return nil
 }
 
-// Execute runs a state machine to completion and returns its output.
+// Execute runs a state machine to completion and returns its output. With
+// observability attached, the execution forms one trace: a root span plus a
+// child span per step.
 func (e *Engine) Execute(sm State, input []byte) ([]byte, error) {
-	return sm.run(e, &execCtx{}, input)
+	e.obsExecs.Inc()
+	root := e.obs.Tracer().StartSpan("orchestrate.execution")
+	out, err := sm.run(e, &execCtx{span: root}, input)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
+	return out, err
 }
 
 // ExecuteTraced runs a state machine, also returning its execution trace.
 func (e *Engine) ExecuteTraced(sm State, input []byte) ([]byte, *Trace, error) {
+	e.obsExecs.Inc()
 	tr := &Trace{}
-	out, err := sm.run(e, &execCtx{trace: tr}, input)
+	root := e.obs.Tracer().StartSpan("orchestrate.execution")
+	out, err := sm.run(e, &execCtx{trace: tr, span: root}, input)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
 	return out, tr, err
 }
 
@@ -216,12 +265,17 @@ func (s taskState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	comp, isComp := e.compositions[s.target]
 	e.mu.Unlock()
 
+	e.obsSteps.Inc()
+	sp, ec := ec.childCtx("task:", s.target)
+	defer sp.End()
+
 	var out []byte
 	var err error
 	interval := s.retry.Interval
 	for attempt := 1; attempt <= s.retry.attempts(); attempt++ {
 		if attempt > 1 {
 			ec.trace.add(clock.Now(), "retry", fmt.Sprintf("%s attempt %d", s.target, attempt))
+			sp.SetAttr("retry", fmt.Sprintf("attempt %d", attempt))
 			clock.Sleep(interval)
 			interval = time.Duration(float64(interval) * s.retry.backoff())
 		}
@@ -242,7 +296,11 @@ func (s taskState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	}
 	if s.catch != nil {
 		ec.trace.add(clock.Now(), "catch", s.target)
+		sp.SetAttr("catch", s.target)
 		return s.catch.run(e, ec, input)
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
 	}
 	return nil, err
 }
@@ -262,6 +320,11 @@ func (s chainState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 func (s parallelState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	clock := e.platform.Clock()
 	ec.trace.add(clock.Now(), "parallel", fmt.Sprintf("%d branches", len(s)))
+	sp, ec := ec.childCtx("", "parallel")
+	if sp != nil {
+		sp.SetAttr("branches", fmt.Sprint(len(s)))
+	}
+	defer sp.End()
 	outs := make([]json.RawMessage, len(s))
 	errs := make([]error, len(s))
 	var wg sync.WaitGroup
@@ -287,6 +350,11 @@ func (s choiceState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	for i, br := range s.branches {
 		if br.When(input) {
 			ec.trace.add(e.platform.Clock().Now(), "choice", fmt.Sprintf("branch %d", i))
+			sp, ec := ec.childCtx("", "choice")
+			if sp != nil {
+				sp.SetAttr("branch", fmt.Sprint(i))
+			}
+			defer sp.End()
 			return br.Then.run(e, ec, input)
 		}
 	}
@@ -294,6 +362,9 @@ func (s choiceState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 		return nil, ErrNoChoice
 	}
 	ec.trace.add(e.platform.Clock().Now(), "choice", "default")
+	sp, ec := ec.childCtx("", "choice")
+	sp.SetAttr("branch", "default")
+	defer sp.End()
 	return s.fallback.run(e, ec, input)
 }
 
@@ -304,6 +375,11 @@ func (s mapState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	}
 	clock := e.platform.Clock()
 	ec.trace.add(clock.Now(), "map", fmt.Sprintf("%d items", len(items)))
+	sp, ec := ec.childCtx("", "map")
+	if sp != nil {
+		sp.SetAttr("items", fmt.Sprint(len(items)))
+	}
+	defer sp.End()
 	outs := make([]json.RawMessage, len(items))
 	errs := make([]error, len(items))
 	var wg sync.WaitGroup
@@ -337,7 +413,9 @@ func (s mapState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 
 func (s waitState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 	ec.trace.add(e.platform.Clock().Now(), "wait", time.Duration(s).String())
+	sp, _ := ec.childCtx("", "wait")
 	e.platform.Clock().Sleep(time.Duration(s))
+	sp.End()
 	return input, nil
 }
 

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/coord"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 )
 
 // Errors returned by the messaging layer.
@@ -41,6 +43,16 @@ type subscription struct {
 	nextDispatch int64           // next fresh seq to dispatch
 	consumers    []*consumerReg
 	rr           int // round-robin pointer for Shared
+
+	// backlogGauge tracks this subscription's unacked message count. Resolved
+	// once at subscription creation; nil (no-op) when observability is off.
+	backlogGauge *obs.Gauge
+}
+
+// updateBacklogLocked refreshes the subscription's backlog gauge. Called with
+// the topic's lock held; a single atomic store when observability is on.
+func (sub *subscription) updateBacklogLocked(ts *topicState) {
+	sub.backlogGauge.Set(float64(ts.nextSeq - sub.ackedPrefix - int64(len(sub.acks))))
 }
 
 type ledgerRange struct {
@@ -140,8 +152,14 @@ func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 	}
 	ts.nextSeq++
 	ts.cache = append(ts.cache, m)
+	c := b.cluster
+	c.obsPublished.Inc()
+	if c.obsPublishLat != nil {
+		c.obsPublishLat.Observe(c.clock.Now().Sub(m.PublishTime))
+	}
 	for _, sub := range ts.subs {
 		b.dispatchLocked(ts, sub)
+		sub.updateBacklogLocked(ts)
 	}
 	return m.Seq, nil
 }
@@ -178,8 +196,15 @@ func (b *Broker) publishBatch(topicName string, keys []string, payloads [][]byte
 		return 0, err
 	}
 	ts.nextSeq = first + int64(len(payloads))
+	c := b.cluster
+	c.obsPublished.Add(int64(len(payloads)))
+	c.obsBatchSize.ObserveValue(int64(len(payloads)))
+	if c.obsPublishLat != nil {
+		c.obsPublishLat.Observe(c.clock.Now().Sub(now))
+	}
 	for _, sub := range ts.subs {
 		b.dispatchLocked(ts, sub)
+		sub.updateBacklogLocked(ts)
 	}
 	return first, nil
 }
@@ -209,8 +234,10 @@ func (b *Broker) subscribe(topicName, subName string, mode SubMode, pos InitialP
 			acks:         map[int64]bool{},
 			pending:      map[int64]int64{},
 			nextDispatch: start,
+			backlogGauge: b.cluster.obs.Gauge("pulsar.backlog." + topicName + "." + subName),
 		}
 		ts.subs[subName] = sub
+		sub.updateBacklogLocked(ts)
 		b.cluster.persistCursor(sub)
 	}
 	if sub.mode == Exclusive && len(sub.consumers) > 0 {
@@ -287,6 +314,7 @@ func (b *Broker) ack(topicName, subName string, seq int64) error {
 		sub.ackedPrefix++
 		advanced = true
 	}
+	sub.updateBacklogLocked(ts)
 	if advanced {
 		b.cluster.persistCursor(sub)
 	}
@@ -299,11 +327,17 @@ func (b *Broker) dispatchLocked(ts *topicState, sub *subscription) {
 	if len(sub.consumers) == 0 {
 		return
 	}
+	// One timestamp covers the whole dispatch round: dispatch latency is
+	// observed per delivered message but the clock is read at most once.
+	var now time.Time
+	if b.cluster.obsDispatchLat != nil && (len(sub.redeliver) > 0 || sub.nextDispatch < ts.nextSeq) {
+		now = b.cluster.clock.Now()
+	}
 	// Redeliveries first (preserving rough order), then fresh messages.
 	for len(sub.redeliver) > 0 {
 		seq := sub.redeliver[0]
 		sub.redeliver = sub.redeliver[1:]
-		b.deliverLocked(ts, sub, seq)
+		b.deliverLocked(ts, sub, seq, now)
 	}
 	for sub.nextDispatch < ts.nextSeq {
 		seq := sub.nextDispatch
@@ -311,7 +345,7 @@ func (b *Broker) dispatchLocked(ts *topicState, sub *subscription) {
 		if seq < sub.ackedPrefix || sub.acks[seq] {
 			continue // already consumed (e.g. cursor moved by recovery)
 		}
-		b.deliverLocked(ts, sub, seq)
+		b.deliverLocked(ts, sub, seq, now)
 	}
 }
 
@@ -330,7 +364,7 @@ func fnv1a(s string) uint32 {
 	return h
 }
 
-func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64) {
+func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64, now time.Time) {
 	m := ts.cache[seq]
 	var target *consumerReg
 	switch sub.mode {
@@ -343,6 +377,9 @@ func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64) {
 		target = sub.consumers[int(fnv1a(m.Key))%len(sub.consumers)]
 	}
 	sub.pending[seq] = target.id
+	if !now.IsZero() {
+		b.cluster.obsDispatchLat.Observe(now.Sub(m.PublishTime))
+	}
 	target.inbox.push(m)
 }
 
@@ -403,7 +440,7 @@ func (b *Broker) loadTopic(topicName string) error {
 		return err
 	}
 	for name, cur := range subs {
-		ts.subs[name] = &subscription{
+		sub := &subscription{
 			topicName:    topicName,
 			name:         name,
 			mode:         cur.Mode,
@@ -411,7 +448,10 @@ func (b *Broker) loadTopic(topicName string) error {
 			acks:         map[int64]bool{},
 			pending:      map[int64]int64{},
 			nextDispatch: cur.AckedPrefix,
+			backlogGauge: c.obs.Gauge("pulsar.backlog." + topicName + "." + name),
 		}
+		ts.subs[name] = sub
+		sub.updateBacklogLocked(ts)
 	}
 	b.topics[topicName] = ts
 	return nil

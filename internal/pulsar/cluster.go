@@ -11,6 +11,7 @@ import (
 	"repro/internal/billing"
 	"repro/internal/coord"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -69,6 +70,25 @@ type Cluster struct {
 	brokerOrder  []string
 	epochs       map[string]int64 // concrete topic → ownership epoch
 	nextConsumer int64
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs. The
+	// registry itself is kept for per-subscription backlog gauges, which are
+	// created lazily when subscriptions appear.
+	obs            *obs.Registry
+	obsPublished   *obs.Counter
+	obsPublishLat  *obs.Histogram
+	obsDispatchLat *obs.Histogram
+	obsBatchSize   *obs.Histogram
+}
+
+// SetObs attaches observability instruments. Call before traffic starts: the
+// handles are read lock-free on the publish and dispatch paths.
+func (c *Cluster) SetObs(r *obs.Registry) {
+	c.obs = r
+	c.obsPublished = r.Counter("pulsar.publish.messages")
+	c.obsPublishLat = r.Histogram("pulsar.publish.latency")
+	c.obsDispatchLat = r.Histogram("pulsar.dispatch.latency")
+	c.obsBatchSize = r.ValueHistogram("pulsar.publish.batch.size")
 }
 
 // NewCluster creates a cluster. meter may be nil.

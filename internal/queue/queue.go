@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -87,11 +88,21 @@ type Service struct {
 	queues map[string]*qstate
 	topics map[string]*topic
 	nextID int64
+
+	// Pre-resolved observability handles; nil (no-ops) until SetObs.
+	obsSendLat    *obs.Histogram
+	obsReceiveLat *obs.Histogram
 }
 
 // New creates an empty Service. meter may be nil.
 func New(clock simclock.Clock, meter *billing.Meter) *Service {
 	return &Service{clock: clock, meter: meter, queues: map[string]*qstate{}, topics: map[string]*topic{}}
+}
+
+// SetObs attaches observability instruments. Call before traffic starts.
+func (s *Service) SetObs(r *obs.Registry) {
+	s.obsSendLat = r.Histogram("queue.send.latency")
+	s.obsReceiveLat = r.Histogram("queue.receive.latency")
 }
 
 // CreateQueue makes a queue billed to tenant.
@@ -132,6 +143,10 @@ func (s *Service) OnSend(name string, fn func(queueName string)) error {
 
 // Send enqueues a message and returns its ID.
 func (s *Service) Send(name string, body []byte) (int64, error) {
+	if s.obsSendLat != nil {
+		start := s.clock.Now()
+		defer func() { s.obsSendLat.Observe(s.clock.Now().Sub(start)) }()
+	}
 	s.mu.Lock()
 	q, ok := s.queues[name]
 	if !ok {
@@ -159,6 +174,10 @@ func (s *Service) Send(name string, body []byte) (int64, error) {
 // visibility timeout. Exhausted messages (ReceiveCount ≥ MaxReceive) are
 // redriven to the dead-letter queue instead of delivered.
 func (s *Service) Receive(name string, max int) ([]Delivery, error) {
+	if s.obsReceiveLat != nil {
+		start := s.clock.Now()
+		defer func() { s.obsReceiveLat.Observe(s.clock.Now().Sub(start)) }()
+	}
 	s.mu.Lock()
 	q, ok := s.queues[name]
 	if !ok {

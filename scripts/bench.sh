@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the data-plane micro-benchmarks with
 # -benchmem and writes a JSON snapshot (ns/op, B/op, allocs/op per
-# benchmark) so successive PRs can diff the perf trajectory.
+# benchmark) so successive PRs can diff the perf trajectory. The snapshot
+# carries a meta block (go version, GOOS/GOARCH, CPU count, git commit) so a
+# diff that crosses machines or toolchains is visible as such.
 #
 # Usage:
 #   scripts/bench.sh [output.json]        # default output: BENCH.json
@@ -14,26 +16,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
-pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain}"
+pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead}"
 benchtime="${BENCH_TIME:-1s}"
+
+go_version="$(go env GOVERSION)"
+goos="$(go env GOOS)"
+goarch="$(go env GOARCH)"
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee "$tmp"
 
-awk '
-/^Benchmark/ {
-  name = $1; sub(/-[0-9]+$/, "", name)
-  ns = "null"; bytes = "null"; allocs = "null"
-  for (i = 2; i <= NF; i++) {
-    if ($i == "ns/op")     ns     = $(i-1)
-    if ($i == "B/op")      bytes  = $(i-1)
-    if ($i == "allocs/op") allocs = $(i-1)
+{
+  printf '{\n'
+  printf '  "meta": {"go":"%s","goos":"%s","goarch":"%s","cpus":%s,"commit":"%s"},\n' \
+    "$go_version" "$goos" "$goarch" "$cpus" "$commit"
+  printf '  "benchmarks": [\n    '
+  awk '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns     = $(i-1)
+      if ($i == "B/op")      bytes  = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, bytes, allocs
+    sep = ",\n    "
   }
-  printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, bytes, allocs
-  sep = ",\n  "
-}
-BEGIN { printf "[\n  " }
-END   { print  "\n]" }
-' "$tmp" > "$out"
+  ' "$tmp"
+  printf '\n  ]\n}\n'
+} > "$out"
 echo "wrote $out"
