@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
+	"repro/internal/simclock"
 	"repro/internal/sketch"
 	"repro/internal/workload"
 )
@@ -217,6 +219,110 @@ func BenchmarkJiffyPutGet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInvokeWarmParallel measures warm invocation under concurrent
+// admission: 8 functions registered on one platform, parallel goroutines each
+// pinned to their own function. The cost that matters is the platform-wide
+// admission path (request-ID assignment, function-table lookup) — with a
+// single platform mutex every tenant serializes there even though their
+// functions are independent.
+func BenchmarkInvokeWarmParallel(b *testing.B) {
+	const nFuncs = 8
+	p := core.New(core.Options{})
+	names := make([]string, nFuncs)
+	for i := range names {
+		names[i] = fmt.Sprintf("noop%d", i)
+		if err := p.Register(names[i], "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour, MaxConcurrency: 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Invoke(names[i], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := names[int(next.Add(1)-1)%nFuncs]
+		for pb.Next() {
+			if _, err := p.Invoke(name, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJiffyPutGetParallel measures the contended state plane: 64 tenant
+// namespaces live on one controller while parallel goroutines run put+get
+// round trips. "multins" pins each goroutine to its own namespace — the
+// isolation case §4.4 demands (one tenant's traffic must not perturb
+// another's); "sharedns" aims every goroutine at a single namespace (the
+// worst-case hot tenant). A controller-wide mutex plus a full lease scan per
+// op serializes both shapes identically; per-namespace locking separates
+// them.
+func BenchmarkJiffyPutGetParallel(b *testing.B) {
+	const tenants = 64
+	setup := func(b *testing.B) []*jiffy.Namespace {
+		b.Helper()
+		ctrl := jiffy.NewController(simclock.Real{}, nil, jiffy.Config{
+			Latency: jiffy.NoLatency, DefaultLease: -1, BlockSize: 1 << 20,
+		})
+		ctrl.AddNode("n0", 4*tenants)
+		nss := make([]*jiffy.Namespace, tenants)
+		for i := range nss {
+			ns, err := ctrl.CreateNamespace(fmt.Sprintf("/tenant%02d", i), jiffy.NamespaceOptions{InitialBlocks: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nss[i] = ns
+		}
+		return nss
+	}
+	val := workload.Payload(128, 2)
+	b.Run("multins", func(b *testing.B) {
+		nss := setup(b)
+		var next atomic.Int64
+		b.SetBytes(256)
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ns := nss[int(next.Add(1)-1)%tenants]
+			i := 0
+			for pb.Next() {
+				key := fmt.Sprintf("k%d", i%1024)
+				i++
+				if err := ns.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ns.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("sharedns", func(b *testing.B) {
+		nss := setup(b)
+		ns := nss[0]
+		b.SetBytes(256)
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				key := fmt.Sprintf("k%d", i%1024)
+				i++
+				if err := ns.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ns.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkCountMinAdd measures the Figure-3 sketch's update path.

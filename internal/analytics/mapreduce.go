@@ -68,8 +68,11 @@ type JiffyShuffle struct {
 // Put implements ShuffleStore.
 func (j JiffyShuffle) Put(key string, data []byte) error { return j.NS.Put(key, data) }
 
-// Get implements ShuffleStore.
-func (j JiffyShuffle) Get(key string) ([]byte, error) { return j.NS.Get(key) }
+// Get implements ShuffleStore. Shuffle partitions are write-once (each
+// mapper writes its own key) and only read after the map barrier, so the
+// zero-copy view is safe: nothing overwrites the key while reducers decode
+// it, and json.Unmarshal does not retain or mutate the input bytes.
+func (j JiffyShuffle) Get(key string) ([]byte, error) { return j.NS.GetView(key) }
 
 // Job describes one MapReduce run.
 type Job struct {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/billing"
@@ -192,13 +193,21 @@ type function struct {
 }
 
 // Platform is the FaaS control plane plus data plane.
+//
+// Admission is lock-free on the platform level: request IDs come from an
+// atomic counter and the function table sits behind an RWMutex, so invokes
+// of different functions never serialize on platform-wide state — only
+// Register/Unregister take the write lock. Per-function state is under the
+// function's own mutex, held only for bookkeeping (never across cold-start
+// placement, start latency or handler execution).
 type Platform struct {
 	clock simclock.Clock
 	meter *billing.Meter
 
-	mu        sync.Mutex
+	mu        sync.RWMutex // guards functions, cluster, penalty
 	functions map[string]*function
-	nextReq   int64
+
+	nextReq atomic.Int64
 
 	cluster *scheduler.Cluster
 	penalty float64 // slowdown per same-dominant co-resident
@@ -251,8 +260,8 @@ func (p *Platform) AttachCluster(c *scheduler.Cluster, penaltyPerContender float
 
 // Cluster returns the attached cluster (nil if none).
 func (p *Platform) Cluster() *scheduler.Cluster {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.cluster
 }
 
@@ -358,15 +367,13 @@ func (p *Platform) Invoke(name string, payload []byte) (Result, error) {
 }
 
 func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, error) {
-	p.mu.Lock()
+	p.mu.RLock()
 	fn, ok := p.functions[name]
+	p.mu.RUnlock()
 	if !ok {
-		p.mu.Unlock()
 		return Result{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
 	}
-	p.nextReq++
-	reqID := p.nextReq
-	p.mu.Unlock()
+	reqID := p.nextReq.Add(1)
 
 	if len(payload) > fn.cfg.MaxPayload {
 		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
@@ -374,7 +381,10 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 
 	start := p.clock.Now()
 
-	// Acquire an instance: reuse a live warm one or provision cold.
+	// Acquire an instance: reuse a live warm one or reserve a cold slot.
+	// The reservation (running++) happens under fn.mu so MaxConcurrency
+	// holds, but cluster placement runs after the unlock: a slow cold-start
+	// placement must not block warm acquisitions on sibling instances.
 	fn.mu.Lock()
 	fn.reapLocked(start)
 	var inst *instance
@@ -391,13 +401,6 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		}
 		fn.nextInst++
 		inst = &instance{id: fn.nextInst}
-		if err := p.placeInstance(fn, inst); err != nil {
-			fn.nextInst--
-			fn.throttles++
-			fn.mu.Unlock()
-			p.obsThrottled.Inc()
-			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
-		}
 		cold = true
 		fn.coldStarts++
 	}
@@ -405,6 +408,21 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	fn.invocations++
 	fn.recordLocked(start)
 	fn.mu.Unlock()
+
+	if cold {
+		if err := p.placeInstance(fn, inst); err != nil {
+			// Roll back the reservation; the instance ID is not reused.
+			fn.mu.Lock()
+			fn.running--
+			fn.coldStarts--
+			fn.invocations--
+			fn.throttles++
+			fn.recordLocked(start)
+			fn.mu.Unlock()
+			p.obsThrottled.Inc()
+			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
+		}
+	}
 
 	// Pay start latency.
 	if cold {
@@ -489,9 +507,9 @@ const asyncRetryBase = 500 * time.Millisecond
 // transparently on failure"). done, if non-nil, receives the final result.
 func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, error)) {
 	p.clock.Go(func() {
-		p.mu.Lock()
+		p.mu.RLock()
 		fn, ok := p.functions[name]
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		retries := 0
 		if ok {
 			retries = fn.cfg.MaxRetries
@@ -564,9 +582,9 @@ type Stats struct {
 // Stats returns a snapshot for a function, with the warm pool reaped as of
 // now (so WarmIdle reflects scale-to-zero).
 func (p *Platform) Stats(name string) (Stats, error) {
-	p.mu.Lock()
+	p.mu.RLock()
 	fn, ok := p.functions[name]
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if !ok {
 		return Stats{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
 	}

@@ -28,11 +28,13 @@ func FlushKey(nsPath, key string) string {
 	return "flushed" + nsPath + "/" + key
 }
 
-// flushLocked persists a namespace's KV pairs to the flush target. Called
-// with c.mu held; blob writes happen after unlock via the returned closure
-// (blob Puts sleep on the clock and must not run under the controller lock).
-func (c *Controller) flushLocked(ns *Namespace) func() {
-	if c.flush.Store == nil || !ns.flushOnExpiry {
+// flushFn builds the closure persisting a namespace's KV pairs to the flush
+// target. Called with ns.mu held during expiry teardown, before the blocks
+// return to the pool (which clears their maps); the pairs are copied out so
+// the blob writes can run later on their own tracked goroutine (blob Puts
+// sleep on the clock and must not run under any store lock).
+func flushFn(t FlushTarget, ns *Namespace, blocks []*block) func() {
+	if t.Store == nil || !ns.flushOnExpiry {
 		return nil
 	}
 	type pair struct {
@@ -40,12 +42,12 @@ func (c *Controller) flushLocked(ns *Namespace) func() {
 		val []byte
 	}
 	var pairs []pair
-	for _, b := range ns.blocks {
+	for _, b := range blocks {
 		for k, v := range b.kv {
 			pairs = append(pairs, pair{k, append([]byte(nil), v...)})
 		}
 	}
-	store, bucket, path := c.flush.Store, c.flush.Bucket, ns.path
+	store, bucket, path := t.Store, t.Bucket, ns.path
 	return func() {
 		for _, p := range pairs {
 			_, _ = store.Put(bucket, FlushKey(path, p.key), p.val, blob.PutOptions{})

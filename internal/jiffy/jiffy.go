@@ -13,15 +13,28 @@
 // namespace owns blocks and exposes a key-value and a FIFO-queue data
 // interface over them. The GlobalKV type in global.go is the
 // single-global-address-space baseline that experiment E5 compares against.
+//
+// Concurrency model (DESIGN.md §6): the paper's isolation insight extends to
+// the control plane — one tenant's traffic must not serialize another's. The
+// data plane (KV blocks, FIFO queue, subscribers) is guarded per-namespace
+// by Namespace.mu; Controller.mu guards only the shared structures: the
+// namespace tree, the node registry and block free-lists, and the lease
+// expiry heap. Lease expiry is enforced off the hot path: each data op does
+// one atomic load against the earliest deadline in the heap (Controller
+// .nextExpiry) and a second atomic load against its own namespace's
+// deadline; a full reap runs only when a deadline has actually lapsed.
 package jiffy
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/billing"
@@ -41,6 +54,9 @@ var (
 	ErrHasChildren = errors.New("jiffy: namespace has children")
 	ErrMinBlocks   = errors.New("jiffy: cannot scale below one block")
 )
+
+// noExpiry is the deadline of a namespace whose lease never lapses.
+const noExpiry = math.MaxInt64
 
 // LatencyModel is the modelled access cost of the store. Defaults reflect
 // memory-speed ephemeral storage: sub-millisecond operations, orders of
@@ -130,6 +146,9 @@ type MemoryNode struct {
 	ID    string
 	total int
 	inUse int
+	// free holds this node's recycled blocks (Controller.mu): allocation
+	// reuses a retired block's map storage instead of re-making it.
+	free []*block
 }
 
 // Free returns the node's unallocated block count.
@@ -138,14 +157,25 @@ func (n *MemoryNode) Free() int { return n.total - n.inUse }
 // Namespace is one node of the hierarchical namespace tree, owning blocks
 // and exposing KV and queue interfaces over them.
 type Namespace struct {
-	ctrl     *Controller
-	path     string
-	parent   *Namespace
+	ctrl   *Controller
+	path   string
+	parent *Namespace
+	// children is part of the namespace tree, guarded by ctrl.mu.
 	children map[string]*Namespace
 
-	lease         time.Duration
-	expiresAt     time.Time
-	flushOnExpiry bool
+	lease         time.Duration // immutable after create
+	flushOnExpiry bool          // immutable after create
+	// deadline is the lease expiry instant in unix nanoseconds (noExpiry
+	// when the lease never lapses). Data ops load it lock-free; Renew and
+	// the controller store it under ctrl.mu.
+	deadline atomic.Int64
+
+	// mu guards the namespace's data plane: everything below. Taking it
+	// does not serialize other namespaces — the §4.4 isolation property.
+	// Lock order: a goroutine may take ctrl.mu while holding mu (block
+	// allocation during grow/scale), never the reverse.
+	mu   sync.Mutex
+	dead bool // set on removal/expiry; rejects all further data ops
 
 	blocks []*block // KV hash partitions; they also back the FIFO's capacity
 	// fifo is the namespace's FIFO queue. It is namespace-scoped (ordering
@@ -156,6 +186,30 @@ type Namespace struct {
 	subs     []func(Event)
 }
 
+// leaseEntry is one scheduled expiry in the controller's lease heap. Entries
+// are lazily invalidated: a renewal pushes a fresh entry and the stale one
+// is discarded when popped (its namespace's live deadline disagrees).
+type leaseEntry struct {
+	at int64 // deadline, unix nanoseconds
+	ns *Namespace
+}
+
+// leaseHeap is a min-heap of lease deadlines (container/heap).
+type leaseHeap []leaseEntry
+
+func (h leaseHeap) Len() int            { return len(h) }
+func (h leaseHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h leaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *leaseHeap) Push(x interface{}) { *h = append(*h, x.(leaseEntry)) }
+func (h *leaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = leaseEntry{}
+	*h = old[:n-1]
+	return e
+}
+
 // Controller is Jiffy's control plane: node registry, block allocator,
 // namespace tree, leases and notifications.
 type Controller struct {
@@ -163,11 +217,18 @@ type Controller struct {
 	meter *billing.Meter
 	cfg   Config
 
-	mu    sync.Mutex
-	nodes []*MemoryNode
-	root  map[string]*Namespace // top-level namespaces by first path part
-	all   map[string]*Namespace
-	flush FlushTarget
+	// nextExpiry mirrors the earliest deadline in the lease heap (noExpiry
+	// when the heap is empty). Data ops compare the current time against it
+	// with a single atomic load — the entire lease-enforcement cost when no
+	// lease has lapsed.
+	nextExpiry atomic.Int64
+
+	mu     sync.Mutex
+	nodes  []*MemoryNode
+	root   map[string]*Namespace // top-level namespaces by first path part
+	all    map[string]*Namespace
+	flush  FlushTarget
+	leases leaseHeap
 
 	// Pre-resolved observability handles; nil (no-ops) until SetObs.
 	obsAlloc     *obs.Counter
@@ -190,13 +251,15 @@ func (c *Controller) SetObs(r *obs.Registry) {
 
 // NewController creates an empty controller. meter may be nil.
 func NewController(clock simclock.Clock, meter *billing.Meter, cfg Config) *Controller {
-	return &Controller{
+	c := &Controller{
 		clock: clock,
 		meter: meter,
 		cfg:   cfg.withDefaults(),
 		root:  map[string]*Namespace{},
 		all:   map[string]*Namespace{},
 	}
+	c.nextExpiry.Store(noExpiry)
+	return c
 }
 
 // AddNode contributes a memory node with the given number of blocks to the
@@ -212,9 +275,9 @@ func (c *Controller) AddNode(id string, blocks int) *MemoryNode {
 // FreeBlocks returns the pool's unallocated block count (reaping expired
 // leases first, so it reflects reclaimable capacity).
 func (c *Controller) FreeBlocks() int {
+	c.maybeReap(c.clock.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.reapLocked()
 	free := 0
 	for _, n := range c.nodes {
 		free += n.Free()
@@ -261,9 +324,10 @@ func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Names
 		lease = c.cfg.DefaultLease
 	}
 
+	now := c.clock.Now()
+	c.maybeReap(now)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.reapLocked()
 	if _, ok := c.all[path]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrNsExists, path)
 	}
@@ -283,9 +347,7 @@ func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Names
 		lease:         lease,
 		flushOnExpiry: opts.FlushOnExpiry,
 	}
-	if lease > 0 {
-		ns.expiresAt = c.clock.Now().Add(lease)
-	}
+	ns.deadline.Store(noExpiry)
 	for i := 0; i < opts.InitialBlocks; i++ {
 		b, err := c.allocBlockLocked()
 		if err != nil {
@@ -300,14 +362,17 @@ func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Names
 		c.root[parts[0]] = ns
 	}
 	c.all[path] = ns
+	if lease > 0 {
+		c.trackLeaseLocked(ns, now.Add(lease).UnixNano())
+	}
 	return ns, nil
 }
 
 // Namespace returns an existing namespace by path.
 func (c *Controller) Namespace(path string) (*Namespace, error) {
+	c.maybeReap(c.clock.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.reapLocked()
 	ns, ok := c.all[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, path)
@@ -319,27 +384,189 @@ func (c *Controller) Namespace(path string) (*Namespace, error) {
 // synchronously on the mutating goroutine.
 func (c *Controller) Subscribe(path string, fn func(Event)) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	ns, ok := c.all[path]
+	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoNamespace, path)
 	}
+	ns.mu.Lock()
 	ns.subs = append(ns.subs, fn)
+	ns.mu.Unlock()
 	return nil
 }
 
 // ReapExpired reclaims every namespace whose lease has lapsed, firing
-// EventExpired notifications. It runs lazily on most accesses too.
+// EventExpired notifications. It also runs lazily: every data op checks the
+// earliest scheduled deadline with one atomic load and triggers a reap only
+// when it has actually passed.
 func (c *Controller) ReapExpired() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reapLocked()
+	c.reap(c.clock.Now())
 }
 
-// --- allocation internals (c.mu held) ---
+// --- lease expiry (the off-hot-path reaper) ---
+
+// trackLeaseLocked schedules a namespace's lease deadline (c.mu held).
+func (c *Controller) trackLeaseLocked(ns *Namespace, at int64) {
+	ns.deadline.Store(at)
+	heap.Push(&c.leases, leaseEntry{at: at, ns: ns})
+	c.nextExpiry.Store(c.leases[0].at)
+}
+
+// maybeReap is the hot-path gate: a single atomic comparison unless some
+// lease deadline has actually lapsed.
+func (c *Controller) maybeReap(now time.Time) {
+	if now.UnixNano() <= c.nextExpiry.Load() {
+		return
+	}
+	c.reap(now)
+}
+
+// reap reclaims every namespace whose deadline has passed. Expiry is
+// strictly-after, matching time.Time.After semantics: a namespace is live at
+// its exact deadline instant.
+func (c *Controller) reap(now time.Time) {
+	nowNs := now.UnixNano()
+	c.mu.Lock()
+	var expired []*Namespace
+	for len(c.leases) > 0 && c.leases[0].at < nowNs {
+		e := heap.Pop(&c.leases).(leaseEntry)
+		if c.all[e.ns.path] != e.ns {
+			continue // already removed; stale entry
+		}
+		if e.ns.deadline.Load() >= nowNs {
+			continue // renewed; a later heap entry tracks the live deadline
+		}
+		expired = append(expired, e.ns)
+	}
+	if len(c.leases) > 0 {
+		c.nextExpiry.Store(c.leases[0].at)
+	} else {
+		c.nextExpiry.Store(noExpiry)
+	}
+	// Deepest-first so children detach before parents; deterministic order.
+	sort.Slice(expired, func(i, j int) bool {
+		di, dj := strings.Count(expired[i].path, "/"), strings.Count(expired[j].path, "/")
+		if di != dj {
+			return di > dj
+		}
+		return expired[i].path < expired[j].path
+	})
+	var victims []*Namespace
+	for _, ns := range expired {
+		if c.all[ns.path] != ns {
+			continue // detached as a descendant of an earlier victim
+		}
+		c.obsLeaseExp.Inc()
+		c.detachLocked(ns, &victims)
+	}
+	target := c.flush
+	c.mu.Unlock()
+	c.finish(victims, true, target)
+}
+
+// detachLocked unlinks a namespace subtree from the tree (c.mu held),
+// appending each namespace to out child-first. Data teardown happens later
+// in finish, outside c.mu, so in-flight data ops on *other* namespaces never
+// wait on a removal.
+func (c *Controller) detachLocked(ns *Namespace, out *[]*Namespace) {
+	names := make([]string, 0, len(ns.children))
+	for name := range ns.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.detachLocked(ns.children[name], out)
+	}
+	delete(c.all, ns.path)
+	if ns.parent != nil {
+		for name, ch := range ns.parent.children {
+			if ch == ns {
+				delete(ns.parent.children, name)
+			}
+		}
+	} else {
+		parts, _ := splitPath(ns.path)
+		delete(c.root, parts[0])
+	}
+	*out = append(*out, ns)
+}
+
+// finish completes a removal after the tree detach: marks each namespace
+// dead under its own lock, captures flush data, frees the blocks back to
+// their nodes, and (on expiry) fires EventExpired notifications. victims
+// arrive child-first. Lock order: ns.mu then c.mu, never nested the other
+// way.
+func (c *Controller) finish(victims []*Namespace, expired bool, target FlushTarget) {
+	if len(victims) == 0 {
+		return
+	}
+	var toFree []*block
+	var flushFns []func()
+	for _, ns := range victims {
+		ns.mu.Lock()
+		ns.dead = true
+		blocks := ns.blocks
+		ns.blocks = nil
+		ns.fifo, ns.fifoUsed = nil, 0
+		var subs []func(Event)
+		if expired {
+			if fn := flushFn(target, ns, blocks); fn != nil {
+				flushFns = append(flushFns, fn)
+			}
+			subs = ns.subs
+		}
+		ns.mu.Unlock()
+		toFree = append(toFree, blocks...)
+		for _, fn := range subs {
+			fn(Event{Type: EventExpired, Path: ns.path})
+		}
+	}
+	c.mu.Lock()
+	c.freeBlocksLocked(toFree)
+	c.mu.Unlock()
+	for _, fn := range flushFns {
+		c.clock.Go(fn)
+	}
+}
+
+// --- allocation internals ---
+
+// allocBlock allocates one block, taking c.mu. Called from data ops that
+// hold their namespace's lock (grow/scale).
+func (c *Controller) allocBlock() (*block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocBlockLocked()
+}
+
+// allocBlocks allocates n blocks atomically (all or none) under one c.mu
+// acquisition.
+func (c *Controller) allocBlocks(n int) ([]*block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := make([]*block, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := c.allocBlockLocked()
+		if err != nil {
+			c.freeBlocksLocked(added)
+			return nil, err
+		}
+		added = append(added, b)
+	}
+	return added, nil
+}
+
+// freeBlocks returns blocks to the pool, taking c.mu.
+func (c *Controller) freeBlocks(blocks []*block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.freeBlocksLocked(blocks)
+}
 
 // allocBlockLocked takes a block from the node with the most free capacity
-// (spreading load across the pool).
+// (spreading load across the pool), reusing a recycled block from that
+// node's free-list when one exists — allocation is then pointer moves, not a
+// map re-make.
 func (c *Controller) allocBlockLocked() (*block, error) {
 	var best *MemoryNode
 	for _, n := range c.nodes {
@@ -353,6 +580,13 @@ func (c *Controller) allocBlockLocked() (*block, error) {
 	best.inUse++
 	c.obsAlloc.Inc()
 	c.obsInUse.Add(1)
+	if n := len(best.free); n > 0 {
+		b := best.free[n-1]
+		best.free[n-1] = nil
+		best.free = best.free[:n-1]
+		b.since = c.clock.Now()
+		return b, nil
+	}
 	return &block{node: best, kv: map[string][]byte{}, since: c.clock.Now()}, nil
 }
 
@@ -374,70 +608,9 @@ func (c *Controller) freeBlocksLocked(blocks []*block) {
 				At:       now,
 			})
 		}
-	}
-}
-
-func (c *Controller) reapLocked() {
-	now := c.clock.Now()
-	var expired []*Namespace
-	for _, ns := range c.all {
-		if ns.lease > 0 && now.After(ns.expiresAt) {
-			expired = append(expired, ns)
-		}
-	}
-	// Deepest-first so children free before parents; deterministic order.
-	sort.Slice(expired, func(i, j int) bool {
-		di, dj := strings.Count(expired[i].path, "/"), strings.Count(expired[j].path, "/")
-		if di != dj {
-			return di > dj
-		}
-		return expired[i].path < expired[j].path
-	})
-	for _, ns := range expired {
-		if _, still := c.all[ns.path]; still {
-			c.obsLeaseExp.Inc()
-			c.removeLocked(ns, true)
-		}
-	}
-}
-
-// removeLocked frees a namespace and its descendants. Expiring namespaces
-// with FlushOnExpiry persist their data to the flush target asynchronously.
-func (c *Controller) removeLocked(ns *Namespace, expired bool) {
-	if expired {
-		if flushFn := c.flushLocked(ns); flushFn != nil {
-			c.clock.Go(flushFn)
-		}
-	}
-	names := make([]string, 0, len(ns.children))
-	for name := range ns.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		c.removeLocked(ns.children[name], expired)
-	}
-	c.freeBlocksLocked(ns.blocks)
-	ns.blocks = nil
-	delete(c.all, ns.path)
-	if ns.parent != nil {
-		for name, ch := range ns.parent.children {
-			if ch == ns {
-				delete(ns.parent.children, name)
-			}
-		}
-	} else {
-		parts, _ := splitPath(ns.path)
-		delete(c.root, parts[0])
-	}
-	if expired {
-		ns.notifyLocked(Event{Type: EventExpired, Path: ns.path})
-	}
-}
-
-func (ns *Namespace) notifyLocked(ev Event) {
-	for _, fn := range ns.subs {
-		fn(ev)
+		clear(b.kv)
+		b.used = 0
+		b.node.free = append(b.node.free, b)
 	}
 }
 

@@ -12,20 +12,16 @@ func (ns *Namespace) Path() string { return ns.path }
 
 // Blocks returns the namespace's current block count.
 func (ns *Namespace) Blocks() int {
-	ns.ctrl.mu.Lock()
-	defer ns.ctrl.mu.Unlock()
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	return len(ns.blocks)
 }
 
 // UsedBytes returns the bytes stored in the namespace (KV plus queue).
 func (ns *Namespace) UsedBytes() int {
-	ns.ctrl.mu.Lock()
-	defer ns.ctrl.mu.Unlock()
-	n := ns.fifoUsed
-	for _, b := range ns.blocks {
-		n += b.used
-	}
-	return n
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.usedLocked()
 }
 
 // Renew extends the namespace's lease by its TTL from now — the mechanism
@@ -33,14 +29,15 @@ func (ns *Namespace) UsedBytes() int {
 // any party with the path, producer or consumer, can keep the state alive.
 func (ns *Namespace) Renew() error {
 	c := ns.ctrl
+	now := c.clock.Now()
+	c.maybeReap(now)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.reapLocked()
-	if _, ok := c.all[ns.path]; !ok {
+	if c.all[ns.path] != ns {
 		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
 	}
 	if ns.lease > 0 {
-		ns.expiresAt = c.clock.Now().Add(ns.lease)
+		c.trackLeaseLocked(ns, now.Add(ns.lease).UnixNano())
 	}
 	return nil
 }
@@ -49,11 +46,14 @@ func (ns *Namespace) Renew() error {
 func (ns *Namespace) Remove() error {
 	c := ns.ctrl
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.all[ns.path]; !ok {
+	if c.all[ns.path] != ns {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
 	}
-	c.removeLocked(ns, false)
+	var victims []*Namespace
+	c.detachLocked(ns, &victims)
+	c.mu.Unlock()
+	c.finish(victims, false, FlushTarget{})
 	return nil
 }
 
@@ -68,8 +68,9 @@ func (ns *Namespace) CreateChild(name string, opts NamespaceOptions) (*Namespace
 
 // Children returns the namespace's child names, sorted.
 func (ns *Namespace) Children() []string {
-	ns.ctrl.mu.Lock()
-	defer ns.ctrl.mu.Unlock()
+	c := ns.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, 0, len(ns.children))
 	for name := range ns.children {
 		out = append(out, name)
@@ -78,31 +79,192 @@ func (ns *Namespace) Children() []string {
 	return out
 }
 
+// lockLive enforces the lease and acquires the namespace's data lock: the
+// shared prologue of every data-plane op, so that expired or removed
+// namespaces reject Put, Get, Delete and the queue ops uniformly. The
+// happy path costs two atomic loads (pool-wide earliest deadline, own
+// deadline) plus the namespace lock; a controller-wide reap runs only when
+// some deadline has actually lapsed. On success the caller holds ns.mu.
+func (ns *Namespace) lockLive(now time.Time) error {
+	c := ns.ctrl
+	c.maybeReap(now)
+	if now.UnixNano() > ns.deadline.Load() {
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	ns.mu.Lock()
+	if ns.dead {
+		ns.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	}
+	return nil
+}
+
+// --- KV interface ---
+
+// Put stores key→value in the namespace, auto-scaling by one block when the
+// target block is full and pool capacity allows. Overwriting a key reuses
+// the previous value's buffer when it has capacity (no allocation on
+// steady-state overwrite); slices returned by GetView for that key are
+// invalidated.
+func (ns *Namespace) Put(key string, value []byte) error {
+	c := ns.ctrl
+	var start time.Time
+	if c.obsOpLat != nil {
+		start = c.clock.Now()
+		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
+	}
+	c.cfg.Latency.sleep(c.clock, len(value))
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return err
+	}
+	defer ns.mu.Unlock()
+	sz := len(key) + len(value)
+	if sz > c.cfg.BlockSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, sz, c.cfg.BlockSize)
+	}
+	for {
+		b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+		old, existed := b.kv[key]
+		if existed {
+			b.used -= len(key) + len(old)
+		}
+		if b.used+sz <= c.cfg.BlockSize {
+			if existed {
+				b.kv[key] = append(old[:0], value...)
+			} else {
+				b.kv[key] = append([]byte(nil), value...)
+			}
+			b.used += sz
+			ns.notifyLocked(Event{Type: EventPut, Path: ns.path, Key: key})
+			return nil
+		}
+		if existed {
+			b.used += len(key) + len(old) // undo; grow's rehash recounts
+		}
+		// Block full: grow the namespace by one block and retry.
+		if err := ns.growLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// growLocked adds one block, re-partitioning the namespace (ns.mu held; the
+// controller lock is taken only for the allocation itself).
+func (ns *Namespace) growLocked() error {
+	b, err := ns.ctrl.allocBlock()
+	if err != nil {
+		return err
+	}
+	oldCount := len(ns.blocks)
+	ns.blocks = append(ns.blocks, b)
+	ns.rehashLocked(oldCount)
+	ns.notifyLocked(Event{Type: EventScaled, Path: ns.path})
+	return nil
+}
+
+// Get returns a copy of the value for key.
+func (ns *Namespace) Get(key string) ([]byte, error) {
+	return ns.get(key, true)
+}
+
+// GetView returns the stored value for key without copying. The returned
+// slice is owned by the store: it stays valid until the key is next
+// overwritten or deleted, and the caller must not modify it. It is the
+// opt-in zero-copy read for read-once consumers (shuffle partitions,
+// producer→consumer handoff) where Get's defensive copy is pure overhead;
+// callers racing writers to the same key must use Get instead.
+func (ns *Namespace) GetView(key string) ([]byte, error) {
+	return ns.get(key, false)
+}
+
+func (ns *Namespace) get(key string, copied bool) ([]byte, error) {
+	c := ns.ctrl
+	var start time.Time
+	if c.obsOpLat != nil {
+		start = c.clock.Now()
+		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
+	}
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return nil, err
+	}
+	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	v, ok := b.kv[key]
+	var out []byte
+	if ok {
+		if copied {
+			out = append([]byte(nil), v...)
+		} else {
+			out = v
+		}
+	}
+	ns.mu.Unlock()
+	c.cfg.Latency.sleep(c.clock, len(out))
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, ns.path)
+	}
+	return out, nil
+}
+
+// Delete removes key. Like every data-plane op it enforces the lease: an
+// expired namespace rejects deletes just as it rejects puts and gets.
+func (ns *Namespace) Delete(key string) error {
+	c := ns.ctrl
+	c.cfg.Latency.sleep(c.clock, 0)
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return err
+	}
+	defer ns.mu.Unlock()
+	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	v, ok := b.kv[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoKey, key)
+	}
+	delete(b.kv, key)
+	b.used -= len(key) + len(v)
+	ns.notifyLocked(Event{Type: EventRemove, Path: ns.path, Key: key})
+	return nil
+}
+
+// Keys returns every key in the namespace, sorted.
+func (ns *Namespace) Keys() []string {
+	ns.mu.Lock()
+	var out []string
+	for _, b := range ns.blocks {
+		for k := range b.kv {
+			out = append(out, k)
+		}
+	}
+	ns.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// BlockOf returns the index of the block holding key (for isolation tests).
+func (ns *Namespace) BlockOf(key string) int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return int(hashKey(key)) % len(ns.blocks)
+}
+
 // Scale adds (delta > 0) or removes (delta < 0) blocks, re-partitioning
 // *only this namespace's* keys across the new block set — the isolation
 // property that the single global address-space baseline cannot provide
 // (§4.4, experiment E5). It returns the number of keys that moved.
 func (ns *Namespace) Scale(delta int) (moved int, err error) {
 	c := ns.ctrl
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.all[ns.path]; !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return 0, err
 	}
+	defer ns.mu.Unlock()
 	oldCount := len(ns.blocks)
 	newCount := oldCount + delta
 	if newCount < 1 {
 		return 0, fmt.Errorf("%w: %d blocks requested", ErrMinBlocks, newCount)
 	}
 	if delta > 0 {
-		added := make([]*block, 0, delta)
-		for i := 0; i < delta; i++ {
-			b, err := c.allocBlockLocked()
-			if err != nil {
-				c.freeBlocksLocked(added)
-				return 0, err
-			}
-			added = append(added, b)
+		added, err := c.allocBlocks(delta)
+		if err != nil {
+			return 0, err
 		}
 		ns.blocks = append(ns.blocks, added...)
 	} else {
@@ -115,7 +277,7 @@ func (ns *Namespace) Scale(delta int) (moved int, err error) {
 				keep.used += len(k) + len(v)
 			}
 		}
-		c.freeBlocksLocked(ns.blocks[newCount:])
+		c.freeBlocks(ns.blocks[newCount:])
 		ns.blocks = ns.blocks[:newCount]
 	}
 	// Re-hash this namespace's KV entries into the new partition count. A
@@ -128,7 +290,7 @@ func (ns *Namespace) Scale(delta int) (moved int, err error) {
 
 // rehashLocked redistributes the namespace's KV pairs across its current
 // block set, returning how many keys changed partition relative to oldCount
-// partitions. Called with c.mu held.
+// partitions. Called with ns.mu held.
 func (ns *Namespace) rehashLocked(oldCount int) int {
 	type pair struct {
 		k string
@@ -139,7 +301,7 @@ func (ns *Namespace) rehashLocked(oldCount int) int {
 		for k, v := range b.kv {
 			pairs = append(pairs, pair{k, v})
 		}
-		b.kv = map[string][]byte{}
+		clear(b.kv)
 		b.used = 0
 	}
 	newCount := len(ns.blocks)
@@ -156,130 +318,6 @@ func (ns *Namespace) rehashLocked(oldCount int) int {
 	return moved
 }
 
-// --- KV interface ---
-
-// Put stores key→value in the namespace, auto-scaling by one block when the
-// target block is full and pool capacity allows.
-func (ns *Namespace) Put(key string, value []byte) error {
-	c := ns.ctrl
-	var start time.Time
-	if c.obsOpLat != nil {
-		start = c.clock.Now()
-		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
-	}
-	c.cfg.Latency.sleep(c.clock, len(value))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reapLocked()
-	if _, ok := c.all[ns.path]; !ok {
-		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
-	}
-	sz := len(key) + len(value)
-	if sz > c.cfg.BlockSize {
-		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, sz, c.cfg.BlockSize)
-	}
-	for {
-		b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
-		if old, ok := b.kv[key]; ok {
-			b.used -= len(key) + len(old)
-		}
-		if b.used+sz <= c.cfg.BlockSize {
-			b.kv[key] = append([]byte(nil), value...)
-			b.used += sz
-			ns.notifyLocked(Event{Type: EventPut, Path: ns.path, Key: key})
-			return nil
-		}
-		// Block full: grow the namespace by one block and retry.
-		if err := ns.growLocked(); err != nil {
-			return err
-		}
-	}
-}
-
-// growLocked adds one block, re-partitioning the namespace (c.mu held).
-func (ns *Namespace) growLocked() error {
-	b, err := ns.ctrl.allocBlockLocked()
-	if err != nil {
-		return err
-	}
-	oldCount := len(ns.blocks)
-	ns.blocks = append(ns.blocks, b)
-	ns.rehashLocked(oldCount)
-	ns.notifyLocked(Event{Type: EventScaled, Path: ns.path})
-	return nil
-}
-
-// Get returns the value for key.
-func (ns *Namespace) Get(key string) ([]byte, error) {
-	c := ns.ctrl
-	var start time.Time
-	if c.obsOpLat != nil {
-		start = c.clock.Now()
-		defer func() { c.obsOpLat.Observe(c.clock.Now().Sub(start)) }()
-	}
-	c.mu.Lock()
-	c.reapLocked()
-	if _, ok := c.all[ns.path]; !ok {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
-	}
-	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
-	v, ok := b.kv[key]
-	var out []byte
-	if ok {
-		out = append([]byte(nil), v...)
-	}
-	c.mu.Unlock()
-	c.cfg.Latency.sleep(c.clock, len(out))
-	if !ok {
-		return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, ns.path)
-	}
-	return out, nil
-}
-
-// Delete removes key.
-func (ns *Namespace) Delete(key string) error {
-	c := ns.ctrl
-	c.cfg.Latency.sleep(c.clock, 0)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.all[ns.path]; !ok {
-		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
-	}
-	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
-	v, ok := b.kv[key]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoKey, key)
-	}
-	delete(b.kv, key)
-	b.used -= len(key) + len(v)
-	ns.notifyLocked(Event{Type: EventRemove, Path: ns.path, Key: key})
-	return nil
-}
-
-// Keys returns every key in the namespace, sorted.
-func (ns *Namespace) Keys() []string {
-	c := ns.ctrl
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []string
-	for _, b := range ns.blocks {
-		for k := range b.kv {
-			out = append(out, k)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// BlockOf returns the index of the block holding key (for isolation tests).
-func (ns *Namespace) BlockOf(key string) int {
-	c := ns.ctrl
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return int(hashKey(key)) % len(ns.blocks)
-}
-
 // --- FIFO queue interface ---
 
 // Enqueue appends an item to the namespace's FIFO (the shuffle/exchange
@@ -287,12 +325,10 @@ func (ns *Namespace) BlockOf(key string) int {
 func (ns *Namespace) Enqueue(item []byte) error {
 	c := ns.ctrl
 	c.cfg.Latency.sleep(c.clock, len(item))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reapLocked()
-	if _, ok := c.all[ns.path]; !ok {
-		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return err
 	}
+	defer ns.mu.Unlock()
 	if len(item) > c.cfg.BlockSize {
 		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, len(item), c.cfg.BlockSize)
 	}
@@ -309,7 +345,7 @@ func (ns *Namespace) Enqueue(item []byte) error {
 	return nil
 }
 
-// usedLocked returns total resident bytes (c.mu held).
+// usedLocked returns total resident bytes (ns.mu held).
 func (ns *Namespace) usedLocked() int {
 	n := ns.fifoUsed
 	for _, b := range ns.blocks {
@@ -321,32 +357,35 @@ func (ns *Namespace) usedLocked() int {
 // Dequeue pops the oldest item, or ErrEmptyQueue.
 func (ns *Namespace) Dequeue() ([]byte, error) {
 	c := ns.ctrl
-	c.mu.Lock()
-	c.reapLocked()
-	if _, ok := c.all[ns.path]; !ok {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+	if err := ns.lockLive(c.clock.Now()); err != nil {
+		return nil, err
 	}
 	if len(ns.fifo) == 0 {
-		c.mu.Unlock()
+		ns.mu.Unlock()
 		c.cfg.Latency.sleep(c.clock, 0)
 		return nil, fmt.Errorf("%w: %q", ErrEmptyQueue, ns.path)
 	}
 	item := ns.fifo[0]
+	ns.fifo[0] = nil
 	ns.fifo = ns.fifo[1:]
 	ns.fifoUsed -= len(item)
 	ns.notifyLocked(Event{Type: EventRemove, Path: ns.path})
-	c.mu.Unlock()
+	ns.mu.Unlock()
 	c.cfg.Latency.sleep(c.clock, len(item))
 	return item, nil
 }
 
 // QueueLen returns the FIFO's current depth.
 func (ns *Namespace) QueueLen() int {
-	c := ns.ctrl
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	return len(ns.fifo)
+}
+
+func (ns *Namespace) notifyLocked(ev Event) {
+	for _, fn := range ns.subs {
+		fn(ev)
+	}
 }
 
 func (l LatencyModel) sleep(clock interface{ Sleep(time.Duration) }, n int) {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faas"
@@ -37,17 +38,25 @@ type Config struct {
 
 // Platform wires a FaaS platform and a Jiffy namespace into a stateful
 // function runtime.
+//
+// Concurrency: the cache table is read-mostly (a cache is inserted once per
+// function instance, then looked up on every state op), so it sits behind an
+// RWMutex; each instance's cache has its own lock, so state ops on distinct
+// instances never contend. Hit/miss counters are atomics — they are touched
+// on every cached read and must not serialize the read path.
 type Platform struct {
 	faas *faas.Platform
 	ns   *jiffy.Namespace
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	caches map[string]*cache // function#instance → local cache
-	hits   int64
-	misses int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type cache struct {
+	mu      sync.Mutex
 	entries map[string]cacheEntry
 }
 
@@ -64,9 +73,24 @@ func New(fp *faas.Platform, ns *jiffy.Namespace) *Platform {
 
 // CacheStats returns (hits, misses) across all instances.
 func (p *Platform) CacheStats() (int64, int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// cacheFor returns the instance's cache, creating it on first use.
+func (p *Platform) cacheFor(key string) *cache {
+	p.mu.RLock()
+	ch := p.caches[key]
+	p.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.hits, p.misses
+	if ch = p.caches[key]; ch == nil {
+		ch = &cache{entries: map[string]cacheEntry{}}
+		p.caches[key] = ch
+	}
+	return ch
 }
 
 // Ctx extends the FaaS context with mutable state.
@@ -82,17 +106,16 @@ type Ctx struct {
 func (c *Ctx) Get(key string) ([]byte, error) {
 	now := c.Clock.Now()
 	if c.ttl > 0 {
-		c.p.mu.Lock()
-		if ch := c.p.caches[c.key]; ch != nil {
-			if e, ok := ch.entries[key]; ok && now.Sub(e.fetchedAt) <= c.ttl {
-				c.p.hits++
-				val := append([]byte(nil), e.value...)
-				c.p.mu.Unlock()
-				return val, nil
-			}
+		ch := c.p.cacheFor(c.key)
+		ch.mu.Lock()
+		if e, ok := ch.entries[key]; ok && now.Sub(e.fetchedAt) <= c.ttl {
+			val := append([]byte(nil), e.value...)
+			ch.mu.Unlock()
+			c.p.hits.Add(1)
+			return val, nil
 		}
-		c.p.misses++
-		c.p.mu.Unlock()
+		ch.mu.Unlock()
+		c.p.misses.Add(1)
 	}
 	val, err := c.p.ns.Get(key)
 	if err != nil {
@@ -115,11 +138,14 @@ func (c *Ctx) Put(key string, value []byte) error {
 
 // Delete removes a state key everywhere this instance can see.
 func (c *Ctx) Delete(key string) error {
-	c.p.mu.Lock()
-	if ch := c.p.caches[c.key]; ch != nil {
+	c.p.mu.RLock()
+	ch := c.p.caches[c.key]
+	c.p.mu.RUnlock()
+	if ch != nil {
+		ch.mu.Lock()
 		delete(ch.entries, key)
+		ch.mu.Unlock()
 	}
-	c.p.mu.Unlock()
 	return c.p.ns.Delete(key)
 }
 
@@ -127,14 +153,10 @@ func (c *Ctx) cacheStore(key string, value []byte, at time.Time) {
 	if c.ttl <= 0 {
 		return
 	}
-	c.p.mu.Lock()
-	defer c.p.mu.Unlock()
-	ch := c.p.caches[c.key]
-	if ch == nil {
-		ch = &cache{entries: map[string]cacheEntry{}}
-		c.p.caches[c.key] = ch
-	}
+	ch := c.p.cacheFor(c.key)
+	ch.mu.Lock()
 	ch.entries[key] = cacheEntry{value: append([]byte(nil), value...), fetchedAt: at}
+	ch.mu.Unlock()
 }
 
 // Register deploys a stateful function under the given name and tenant.

@@ -50,3 +50,33 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . |
   printf '\n  ]\n}\n'
 } > "$out"
 echo "wrote $out"
+
+# Diff against the previous snapshot (most recent BENCH_pr*.json other than
+# the one just written, or $BENCH_BASELINE) and warn on >5% ns/op
+# regressions. Warnings are advisory — a cross-machine or cross-toolchain
+# diff shows up in the meta block, so this never fails the run.
+base="${BENCH_BASELINE:-}"
+if [ -z "$base" ]; then
+  base="$(ls BENCH_pr*.json 2>/dev/null | grep -Fxv "$out" | sort -V | tail -1 || true)"
+fi
+if [ -n "$base" ] && [ -f "$base" ]; then
+  echo "== diff vs $base (warn on >5% ns/op regressions)"
+  awk -v baseline="$base" '
+  /"name":/ {
+    match($0, /"name":"[^"]*"/);     name = substr($0, RSTART+8,  RLENGTH-9)
+    match($0, /"ns_per_op":[0-9.]+/)
+    if (RSTART == 0) next
+    ns = substr($0, RSTART+12, RLENGTH-12) + 0
+    if (FILENAME == baseline) old[name] = ns; else cur[name] = ns
+  }
+  END {
+    for (n in cur) {
+      if (!(n in old) || old[n] <= 0) continue
+      delta = (cur[n] - old[n]) / old[n] * 100
+      if (delta > 5)
+        printf "WARN: %-50s %8.1f -> %8.1f ns/op (%+.1f%%)\n", n, old[n], cur[n], delta
+      else
+        printf "ok:   %-50s %8.1f -> %8.1f ns/op (%+.1f%%)\n", n, old[n], cur[n], delta
+    }
+  }' "$base" "$out"
+fi
