@@ -9,6 +9,7 @@ package repro
 // one takes.
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -68,6 +69,7 @@ func BenchmarkE22Provisioned(b *testing.B)      { benchExperiment(b, "E22") }
 func BenchmarkE23ORAM(b *testing.B)             { benchExperiment(b, "E23") }
 func BenchmarkE24IsolationTech(b *testing.B)    { benchExperiment(b, "E24") }
 func BenchmarkE25Evolution(b *testing.B)        { benchExperiment(b, "E25") }
+func BenchmarkE26ChaosRecovery(b *testing.B)    { benchExperiment(b, "E26") }
 
 // --- micro-benchmarks on the real clock (data-plane hot paths) ---
 
@@ -88,6 +90,74 @@ func BenchmarkInvokeWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBreakerFastFail measures the open-breaker rejection path: an
+// invoke against a tripped function must be refused before a concurrency
+// slot is reserved, so the steady-state cost of shedding load is a lookup
+// plus the breaker check.
+func BenchmarkBreakerFastFail(b *testing.B) {
+	p := core.New(core.Options{})
+	if err := p.Register("flaky", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	}, faas.Config{WarmStart: 1, ColdStart: 1, BreakerThreshold: 3, BreakerCooldown: time.Hour}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, _ = p.Invoke("flaky", nil)
+	}
+	if st, err := p.FaaS.BreakerState("flaky"); err != nil || st != "open" {
+		b.Fatalf("breaker = %q, %v; want open", st, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke("flaky", nil); !errors.Is(err, faas.ErrCircuitOpen) {
+			b.Fatalf("want ErrCircuitOpen, got %v", err)
+		}
+	}
+}
+
+// BenchmarkInvokeWithRetry measures the retry wrapper's overhead:
+// "first-try" is the happy path (no backoff slept), "one-retry" forces one
+// failed attempt and a nanosecond backoff per call.
+func BenchmarkInvokeWithRetry(b *testing.B) {
+	pol := faas.RetryPolicy{MaxAttempts: 3, Base: time.Nanosecond, Jitter: -1}
+	b.Run("first-try", func(b *testing.B) {
+		p := core.New(core.Options{})
+		if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.FaaS.InvokeWithRetry("noop", nil, pol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("one-retry", func(b *testing.B) {
+		p := core.New(core.Options{})
+		var calls int64
+		if err := p.Register("flip", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			if atomic.AddInt64(&calls, 1)%2 == 1 {
+				return nil, errors.New("transient")
+			}
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := p.FaaS.InvokeWithRetry("flip", nil, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Attempt != 2 {
+				b.Fatalf("attempt = %d, want 2", res.Attempt)
+			}
+		}
+	})
 }
 
 // BenchmarkPulsarPublish measures the publish path: broker → replicated

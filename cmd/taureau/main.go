@@ -19,6 +19,10 @@
 //	taureau -demo stream -metrics -format prom   # Prometheus text exposition
 //	taureau -demo pipeline -trace                # trace spans as a JSON list
 //	taureau -demo stream -serve :9090            # keep serving /metrics + pprof
+//
+// Chaos:
+//
+//	taureau -demo stream -chaos 42    # run the demo under seeded fault injection
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/blob"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/faas"
 	"repro/internal/jiffy"
@@ -58,6 +63,7 @@ func main() {
 		format  = flag.String("format", "text", "metrics dump format: text, prom, or json")
 		trace   = flag.Bool("trace", false, "dump collected trace spans as JSON after the demo")
 		serve   = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace and pprof on this address (e.g. :9090)")
+		seed    = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
 	)
 	flag.Parse()
 	if *list {
@@ -78,7 +84,22 @@ func main() {
 	}
 	platform, clock := core.NewVirtual(core.Options{})
 	defer clock.Close()
-	clock.Run(func() { fn(platform, clock) })
+	var inj *chaos.Injector
+	clock.Run(func() {
+		if *seed >= 0 {
+			inj = startChaos(platform, clock, *seed)
+		}
+		fn(platform, clock)
+		if inj != nil {
+			inj.Wait()
+		}
+	})
+	if inj != nil {
+		fmt.Println("\nchaos events applied:")
+		for _, line := range inj.Log() {
+			fmt.Println("  " + line)
+		}
+	}
 	fmt.Println()
 	for _, tenant := range platform.Meter.Tenants() {
 		fmt.Print(platform.Invoice(tenant))
@@ -259,6 +280,35 @@ func demoORAM(p *core.Platform, clock simclock.Clock) {
 		2*(client.Levels()+1), client.Levels()+1, writeDur.Round(time.Millisecond), readDur.Round(time.Millisecond))
 	fmt.Printf("the store observed %d reads and %d writes — none reveal which block was used\n",
 		client.Reads, client.Writes)
+}
+
+// startChaos generates a seeded fault schedule against the platform's
+// bookies, brokers and Jiffy nodes and starts replaying it alongside the
+// demo. Bookie straggler events are filtered out: the platform's bookie
+// fleet is shared with Pulsar, whose brokers append under topic locks, and
+// a sleeper holding a lock the injector contends stalls the virtual clock.
+func startChaos(p *core.Platform, clock simclock.Clock, seed int64) *chaos.Injector {
+	inj := chaos.NewInjector(clock, p.Ledgers, p.Pulsar, p.Jiffy)
+	if p.Obs != nil {
+		inj.SetObs(p.Obs)
+	}
+	sch := chaos.Generate(chaos.Options{
+		Seed:       seed,
+		Duration:   500 * time.Millisecond,
+		Bookies:    p.Ledgers.BookieIDs(),
+		Brokers:    p.Pulsar.BrokerIDs(),
+		JiffyNodes: p.Jiffy.NodeIDs(),
+	})
+	filtered := sch[:0]
+	for _, e := range sch {
+		if e.Kind == chaos.KindBookie && e.Op == chaos.OpSlow {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+	fmt.Printf("chaos: seed %d, %d faults over 500ms\n\n", seed, len(filtered))
+	inj.Run(filtered)
+	return inj
 }
 
 func tail(s []string) string {

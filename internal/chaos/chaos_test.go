@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genOpts(seed int64) Options {
+	return Options{
+		Seed:       seed,
+		Duration:   100 * time.Millisecond,
+		Bookies:    []string{"bookie-0", "bookie-1", "bookie-2"},
+		Brokers:    []string{"broker-0", "broker-1"},
+		JiffyNodes: []string{"mem-0", "mem-1"},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(genOpts(42)), Generate(genOpts(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, Generate(genOpts(43))) {
+		t.Fatal("different seeds produced the same schedule")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not time-ordered at %d: %v after %v", i, a[i].At, a[i-1].At)
+		}
+	}
+}
+
+// TestGenerateOneOutagePerKind: the generated adversary never has two
+// targets of the same kind down at once, so quorums stay reachable.
+func TestGenerateOneOutagePerKind(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		sch := Generate(genOpts(seed))
+		down := map[Kind]string{}
+		for _, e := range sch {
+			switch e.Op {
+			case OpCrash:
+				if holder, busy := down[e.Kind]; busy {
+					t.Fatalf("seed %d: crash %s/%s while %s still down", seed, e.Kind, e.Target, holder)
+				}
+				down[e.Kind] = e.Target
+			case OpRestart:
+				delete(down, e.Kind)
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("seed %d: targets left down at end: %v", seed, down)
+		}
+	}
+}
+
+// TestGenerateOffGrid: every event lands off the millisecond grid workloads
+// tick on.
+func TestGenerateOffGrid(t *testing.T) {
+	for _, e := range Generate(genOpts(7)) {
+		if e.At%time.Millisecond != eventOffset {
+			t.Fatalf("event %v not offset from the ms grid", e)
+		}
+	}
+}
+
+// TestInjectorAppliesAndLogs drives a crash/restart pair against a real
+// bookie and checks the fault landed, the log recorded it, and the MTTR
+// instruments observed the outage.
+func TestInjectorAppliesAndLogs(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	ls := ledger.NewSystem(v, coord.NewStore(v))
+	b := ledger.NewBookie("bookie-0")
+	ls.AddBookie(b)
+	reg := obs.New(v)
+	inj := NewInjector(v, ls, nil, nil)
+	inj.SetObs(reg)
+	sch := Schedule{
+		{At: time.Millisecond, Op: OpCrash, Kind: KindBookie, Target: "bookie-0"},
+		{At: 4 * time.Millisecond, Op: OpRestart, Kind: KindBookie, Target: "bookie-0"},
+	}
+	v.Run(func() {
+		inj.Run(sch)
+		v.Sleep(2 * time.Millisecond)
+		if !b.Down() {
+			t.Error("bookie not down after crash event")
+		}
+		inj.Wait()
+		if b.Down() {
+			t.Error("bookie still down after restart event")
+		}
+	})
+	log := inj.Log()
+	if len(log) != 2 {
+		t.Fatalf("log = %v, want 2 lines", log)
+	}
+	if log[0] != "t=1ms crash bookie/bookie-0" {
+		t.Fatalf("log[0] = %q", log[0])
+	}
+	if got := reg.CounterValue("chaos.injected"); got != 2 {
+		t.Fatalf("chaos.injected = %d, want 2", got)
+	}
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "chaos.mttr" {
+			if h.Count != 1 || h.Max != 3*time.Millisecond {
+				t.Fatalf("chaos.mttr = count %d max %v, want 1 / 3ms", h.Count, h.Max)
+			}
+			return
+		}
+	}
+	t.Fatal("chaos.mttr histogram missing")
+}
+
+// TestInjectorSkipsAbsentComponents: events for components the injector was
+// not wired to are logged as skipped, not applied.
+func TestInjectorSkipsAbsentComponents(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	inj := NewInjector(v, nil, nil, nil)
+	v.Run(func() {
+		inj.Run(Schedule{{At: time.Millisecond, Op: OpCrash, Kind: KindJiffy, Target: "mem-0"}})
+		inj.Wait()
+	})
+	log := inj.Log()
+	if len(log) != 1 || log[0] != "t=1ms crash jiffy/mem-0 (no jiffy controller)" {
+		t.Fatalf("log = %v", log)
+	}
+}

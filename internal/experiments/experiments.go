@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"E23", "oram-overhead", E23ORAM},
 		{"E24", "isolation-tech", E24IsolationTech},
 		{"E25", "evolution-ladder", E25Evolution},
+		{"E26", "chaos-recovery", E26ChaosRecovery},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps

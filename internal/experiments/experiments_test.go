@@ -41,8 +41,8 @@ func numPrefix(t *testing.T, s string) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("experiments = %d, want 25", len(all))
+	if len(all) != 26 {
+		t.Fatalf("experiments = %d, want 26", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -456,5 +456,29 @@ func TestE25LadderMonotone(t *testing.T) {
 	// Serverless paid/used must approach 1 (fine-grained billing).
 	if final := numPrefix(t, cell(t, tb, 3, 5)); final > 1.5 {
 		t.Fatalf("serverless paid/used = %v, want ≈1\n%s", final, tb)
+	}
+}
+
+func TestE26NoAckedWriteLost(t *testing.T) {
+	tb := E26ChaosRecovery()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if acked := numPrefix(t, cell(t, tb, i, 1)); acked <= 0 {
+			t.Fatalf("%s acked nothing — the workload never ran\n%s", cell(t, tb, i, 0), tb)
+		}
+		if lost := numPrefix(t, cell(t, tb, i, 2)); lost != numPrefix(t, cell(t, tb, i, 1)) {
+			t.Fatalf("%s verified != acked\n%s", cell(t, tb, i, 0), tb)
+		}
+		if lost := numPrefix(t, cell(t, tb, i, 3)); lost != 0 {
+			t.Fatalf("%s lost %v acked writes\n%s", cell(t, tb, i, 0), lost, tb)
+		}
+	}
+	if !strings.Contains(tb.Notes, "identical rerun digest: true") {
+		t.Fatalf("chaos run not deterministic: %s", tb.Notes)
+	}
+	if strings.Contains(tb.Notes, "ledger recoveries 0") || strings.Contains(tb.Notes, "pulsar takeovers 0") {
+		t.Fatalf("fault schedule exercised no recoveries: %s", tb.Notes)
 	}
 }

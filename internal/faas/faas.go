@@ -19,6 +19,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math/rand"
+
 	"repro/internal/billing"
 	"repro/internal/obs"
 	"repro/internal/scheduler"
@@ -32,6 +34,7 @@ var (
 	ErrThrottled   = errors.New("faas: concurrency limit reached")
 	ErrTimeout     = errors.New("faas: execution time limit exceeded")
 	ErrPayloadSize = errors.New("faas: payload too large")
+	ErrCircuitOpen = errors.New("faas: circuit breaker open")
 )
 
 // Handler is the user function body. It may call Ctx.Work to model compute
@@ -74,6 +77,14 @@ type Config struct {
 	// attached to a cluster (AttachCluster). Zero means {CPU: 1000,
 	// MemMB: MemoryMB}.
 	Demand scheduler.Resources
+	// BreakerThreshold arms a per-function circuit breaker: after this many
+	// consecutive handler failures the breaker opens and invokes fast-fail
+	// with ErrCircuitOpen — before reserving a concurrency slot — until a
+	// half-open probe succeeds. Zero (default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before letting a
+	// single half-open probe through. Default 30s when the breaker is armed.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPayload == 0 {
 		c.MaxPayload = 6 << 20
+	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 30 * time.Second
 	}
 	return c
 }
@@ -179,6 +193,9 @@ type function struct {
 	cfg      Config
 	platform *Platform
 
+	brk      breaker    // armed when cfg.BreakerThreshold > 0
+	brkGauge *obs.Gauge // per-function breaker state; nil → no-op
+
 	mu          sync.Mutex
 	idle        []*instance // LIFO: most recently used first
 	running     int
@@ -212,26 +229,42 @@ type Platform struct {
 	cluster *scheduler.Cluster
 	penalty float64 // slowdown per same-dominant co-resident
 
+	// rng drives retry jitter. Seeded at construction so retry spacing is
+	// deterministic under the virtual clock; guarded by rngMu.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// Pre-resolved observability handles; nil (all no-ops) until SetObs.
-	obsCold       *obs.Counter
-	obsWarm       *obs.Counter
-	obsThrottled  *obs.Counter
-	obsTimeout    *obs.Counter
-	obsFailure    *obs.Counter
-	obsQueueWait  *obs.Histogram
-	obsHandlerLat *obs.Histogram
-	obsInvokeLat  *obs.Histogram
+	obsReg         *obs.Registry // kept for per-function breaker gauges
+	obsCold        *obs.Counter
+	obsWarm        *obs.Counter
+	obsThrottled   *obs.Counter
+	obsTimeout     *obs.Counter
+	obsFailure     *obs.Counter
+	obsQueueWait   *obs.Histogram
+	obsHandlerLat  *obs.Histogram
+	obsInvokeLat   *obs.Histogram
+	obsBreakerFast *obs.Counter
+	obsBreakerOpen *obs.Counter
+	obsRetryWait   *obs.Histogram
 }
 
 // New creates an empty Platform. meter may be nil to disable billing.
 func New(clock simclock.Clock, meter *billing.Meter) *Platform {
-	return &Platform{clock: clock, meter: meter, functions: map[string]*function{}}
+	return &Platform{
+		clock:     clock,
+		meter:     meter,
+		functions: map[string]*function{},
+		rng:       rand.New(rand.NewSource(0x7a05)),
+	}
 }
 
 // SetObs attaches observability instruments. Handles are resolved once here
 // so the invoke path touches only atomics; a nil registry yields nil
-// instruments, whose methods are no-ops.
+// instruments, whose methods are no-ops. Call before registering functions
+// so their breaker gauges land in the registry.
 func (p *Platform) SetObs(r *obs.Registry) {
+	p.obsReg = r
 	p.obsCold = r.Counter("faas.invoke.cold")
 	p.obsWarm = r.Counter("faas.invoke.warm")
 	p.obsThrottled = r.Counter("faas.invoke.throttled")
@@ -240,6 +273,9 @@ func (p *Platform) SetObs(r *obs.Registry) {
 	p.obsQueueWait = r.Histogram("faas.queue.wait")
 	p.obsHandlerLat = r.Histogram("faas.handler.latency")
 	p.obsInvokeLat = r.Histogram("faas.invoke.latency")
+	p.obsBreakerFast = r.Counter("faas.breaker.fastfail")
+	p.obsBreakerOpen = r.Counter("faas.breaker.opened")
+	p.obsRetryWait = r.Histogram("faas.retry.wait")
 }
 
 // Clock returns the platform's clock (handlers and triggers share it).
@@ -274,6 +310,9 @@ func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) er
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	fn := &function{name: name, tenant: tenant, handler: handler, cfg: cfg.withDefaults(), platform: p}
+	if fn.cfg.BreakerThreshold > 0 {
+		fn.brkGauge = p.obsReg.Gauge("faas.breaker.state." + name)
+	}
 	p.functions[name] = fn
 	p.mu.Unlock()
 
@@ -358,6 +397,8 @@ type Result struct {
 	Latency   time.Duration // end-to-end: queuing + start + execution
 	Billed    time.Duration // duration billed (rounded up)
 	RequestID int64
+	Attempt   int           // 1-based attempt that produced this result
+	RetryWait time.Duration // total backoff slept before this attempt
 }
 
 // Invoke runs a function synchronously and returns its result. The calling
@@ -379,6 +420,23 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
 	}
 
+	// Circuit-breaker gate: an open breaker sheds the request here, before
+	// the concurrency-slot reservation below — fast-fail must not consume
+	// capacity the healthy traffic could use.
+	gated := fn.cfg.BreakerThreshold > 0
+	var probe bool
+	if gated {
+		var ok bool
+		ok, probe = fn.brk.allow(p.clock.Now(), fn.cfg.BreakerCooldown)
+		if !ok {
+			p.obsBreakerFast.Inc()
+			return Result{RequestID: reqID, Attempt: attempt}, fmt.Errorf("%w: %q", ErrCircuitOpen, name)
+		}
+		if probe {
+			fn.brkGauge.Set(breakerHalfOpen.gaugeValue())
+		}
+	}
+
 	start := p.clock.Now()
 
 	// Acquire an instance: reuse a live warm one or reserve a cold slot.
@@ -397,6 +455,9 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			fn.throttles++
 			fn.mu.Unlock()
 			p.obsThrottled.Inc()
+			if gated {
+				p.recordBreaker(fn, outcomeAborted, probe)
+			}
 			return Result{}, fmt.Errorf("%w: %q at %d", ErrThrottled, name, fn.cfg.MaxConcurrency)
 		}
 		fn.nextInst++
@@ -420,6 +481,9 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			fn.recordLocked(start)
 			fn.mu.Unlock()
 			p.obsThrottled.Inc()
+			if gated {
+				p.recordBreaker(fn, outcomeAborted, probe)
+			}
 			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
 		}
 	}
@@ -487,12 +551,21 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	fn.recordLocked(end)
 	fn.mu.Unlock()
 
+	if gated {
+		out := outcomeSuccess
+		if err != nil {
+			out = outcomeFailure
+		}
+		p.recordBreaker(fn, out, probe)
+	}
+
 	res := Result{
 		Output:    out,
 		Cold:      cold,
 		Latency:   end.Sub(start),
 		Billed:    billing.BilledDuration(execDur),
 		RequestID: reqID,
+		Attempt:   attempt,
 	}
 	return res, err
 }
@@ -501,10 +574,16 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 // attempt (providers space retries out so transient failures can clear).
 const asyncRetryBase = 500 * time.Millisecond
 
+// asyncJitter is the fraction of each async backoff that is randomized, so
+// a burst of failed invocations does not re-execute in lockstep.
+const asyncJitter = 0.2
+
 // InvokeAsync runs a function on its own goroutine, transparently
-// re-executing it on failure — with exponential backoff — up to the
-// function's MaxRetries (§4.1: "most FaaS platforms re-execute functions
-// transparently on failure"). done, if non-nil, receives the final result.
+// re-executing it on failure — with exponential backoff plus jitter — up to
+// the function's MaxRetries (§4.1: "most FaaS platforms re-execute functions
+// transparently on failure"). done, if non-nil, receives the final result;
+// its Attempt and RetryWait fields surface how many executions it took and
+// how long the retries backed off in total.
 func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, error)) {
 	p.clock.Go(func() {
 		p.mu.RLock()
@@ -516,17 +595,23 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 		}
 		var res Result
 		var err error
+		var waited time.Duration
 		backoff := asyncRetryBase
 		for attempt := 1; attempt <= retries+1; attempt++ {
 			if attempt > 1 {
-				p.clock.Sleep(backoff)
+				d := p.jittered(backoff, asyncJitter)
+				p.clock.Sleep(d)
+				waited += d
 				backoff *= 2
 			}
 			res, err = p.invoke(name, payload, attempt)
+			res.Attempt = attempt
+			res.RetryWait = waited
 			if err == nil {
 				break
 			}
 		}
+		p.obsRetryWait.Observe(waited)
 		if done != nil {
 			done(res, err)
 		}

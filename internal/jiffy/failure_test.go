@@ -1,0 +1,194 @@
+package jiffy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/simclock"
+)
+
+func newFailCtrl(nodes, blocksPer int) *Controller {
+	c := NewController(simclock.Real{}, nil, Config{Latency: NoLatency, DefaultLease: -1})
+	for i := 0; i < nodes; i++ {
+		c.AddNode(fmt.Sprintf("mem-%d", i), blocksPer)
+	}
+	return c
+}
+
+// TestCrashUnreplicatedLosesData pins the degraded path: with Replicas=1 a
+// node crash loses the partitions it held, and data ops degrade to
+// ErrNodeDown rather than pretending the keys never existed.
+func TestCrashUnreplicatedLosesData(t *testing.T) {
+	c := newFailCtrl(1, 8)
+	ns, err := c.CreateNamespace("/app", NamespaceOptions{})
+	must(t, err)
+	must(t, ns.Put("k", []byte("v")))
+	must(t, ns.Enqueue([]byte("item")))
+
+	_, lost, err := c.CrashNode("mem-0")
+	must(t, err)
+	if lost != 1 {
+		t.Fatalf("lost = %d, want 1", lost)
+	}
+	if _, err := ns.Get("k"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Get err = %v, want ErrNodeDown", err)
+	}
+	if err := ns.Put("k2", []byte("x")); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Put err = %v, want ErrNodeDown", err)
+	}
+	if _, err := ns.Dequeue(); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Dequeue err = %v, want ErrNodeDown", err)
+	}
+	if _, err := ns.Scale(1); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Scale err = %v, want ErrNodeDown", err)
+	}
+	// Crashing twice is idempotent.
+	if r, l, err := c.CrashNode("mem-0"); err != nil || r != 0 || l != 0 {
+		t.Fatalf("second crash = (%d, %d, %v)", r, l, err)
+	}
+}
+
+// TestCrashReplicatedSurvives: with Replicas=2 a single node crash loses
+// nothing — the surviving replica keeps serving and the group re-replicates
+// onto a live node, so a second crash of the original survivor is also safe.
+func TestCrashReplicatedSurvives(t *testing.T) {
+	c := newFailCtrl(3, 8)
+	ns, err := c.CreateNamespace("/app", NamespaceOptions{Replicas: 2, InitialBlocks: 2})
+	must(t, err)
+	for i := 0; i < 10; i++ {
+		must(t, ns.Put(fmt.Sprintf("k%d", i), []byte("v")))
+	}
+	repaired, lost, err := c.CrashNode("mem-0")
+	must(t, err)
+	if lost != 0 {
+		t.Fatalf("lost = %d, want 0 (replicated)", lost)
+	}
+	if repaired == 0 {
+		t.Fatal("no block groups repaired")
+	}
+	for i := 0; i < 10; i++ {
+		if v, err := ns.Get(fmt.Sprintf("k%d", i)); err != nil || string(v) != "v" {
+			t.Fatalf("Get(k%d) after crash = %q %v", i, v, err)
+		}
+	}
+	// The replica count was restored: crash a second node; still no loss.
+	if _, lost, err := c.CrashNode("mem-1"); err != nil || lost != 0 {
+		t.Fatalf("second crash lost %d groups (err %v), want 0", lost, err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ns.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("Get(k%d) after second crash: %v", i, err)
+		}
+	}
+}
+
+// TestRestartNodeRejoinsEmpty: a restarted node contributes capacity again
+// but holds none of its former data.
+func TestRestartNodeRejoinsEmpty(t *testing.T) {
+	c := newFailCtrl(2, 4)
+	ns, err := c.CreateNamespace("/app", NamespaceOptions{})
+	must(t, err)
+	must(t, ns.Put("k", []byte("v")))
+	if _, _, err := c.CrashNode("mem-0"); err != nil {
+		t.Fatal(err)
+	}
+	free := c.FreeBlocks()
+	must(t, c.RestartNode("mem-0"))
+	if got := c.FreeBlocks(); got != free+4 {
+		t.Fatalf("FreeBlocks after restart = %d, want %d", got, free+4)
+	}
+	if _, _, err := c.CrashNode("nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("crash unknown node err = %v", err)
+	}
+	if err := c.RestartNode("nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("restart unknown node err = %v", err)
+	}
+}
+
+// TestCheckpointRematerialize is the failover-read path: checkpointed keys
+// survive a total loss of their memory node via the flush tier.
+func TestCheckpointRematerialize(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	c := NewController(v, nil, Config{Latency: NoLatency, DefaultLease: -1})
+	c.AddNode("mem-0", 8)
+	c.AddNode("mem-1", 8)
+	store := blob.New(v, nil, blob.LatencyModel{})
+	v.Run(func() {
+		must(t, store.CreateBucket("cold", "t"))
+		c.SetFlushTarget(FlushTarget{Store: store, Bucket: "cold"})
+		ns, err := c.CreateNamespace("/job", NamespaceOptions{})
+		must(t, err)
+		must(t, ns.Put("a", []byte("1")))
+		must(t, ns.Put("b", []byte("2")))
+		n, err := ns.Checkpoint()
+		must(t, err)
+		if n != 2 {
+			t.Errorf("checkpointed %d pairs, want 2", n)
+		}
+		// Written after the checkpoint: lost for good.
+		must(t, ns.Put("c", []byte("3")))
+
+		if _, _, err := c.CrashNode("mem-0"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := ns.Get("a"); !errors.Is(err, ErrNodeDown) {
+			t.Errorf("Get before rematerialize err = %v", err)
+		}
+		restored, err := ns.Rematerialize()
+		must(t, err)
+		if restored != 2 {
+			t.Errorf("restored %d keys, want 2", restored)
+		}
+		for k, want := range map[string]string{"a": "1", "b": "2"} {
+			if got, err := ns.Get(k); err != nil || string(got) != want {
+				t.Errorf("Get(%q) = %q %v, want %q", k, got, err, want)
+			}
+		}
+		if _, err := ns.Get("c"); !errors.Is(err, ErrNoKey) {
+			t.Errorf("unflushed key err = %v, want ErrNoKey", err)
+		}
+		// The namespace is writable again.
+		must(t, ns.Put("d", []byte("4")))
+		// Rematerialize with nothing lost is a no-op.
+		if n, err := ns.Rematerialize(); err != nil || n != 0 {
+			t.Errorf("idle Rematerialize = (%d, %v)", n, err)
+		}
+	})
+}
+
+// TestRematerializeWithoutFlushTargetRestoresWritability: no flush tier
+// means the data is gone, but the namespace must still become writable.
+func TestRematerializeWithoutFlushTarget(t *testing.T) {
+	c := newFailCtrl(2, 4)
+	ns, err := c.CreateNamespace("/app", NamespaceOptions{})
+	must(t, err)
+	must(t, ns.Put("k", []byte("v")))
+	if _, _, err := c.CrashNode("mem-0"); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ns.Rematerialize()
+	must(t, err)
+	if restored != 0 {
+		t.Fatalf("restored = %d, want 0", restored)
+	}
+	must(t, ns.Put("k", []byte("v2")))
+	if v, err := ns.Get("k"); err != nil || string(v) != "v2" {
+		t.Fatalf("Get after rematerialize = %q %v", v, err)
+	}
+}
+
+// TestReplicasNeedDistinctNodes: a replica count the pool cannot place on
+// distinct nodes is refused, and the partial placement is rolled back.
+func TestReplicasNeedDistinctNodes(t *testing.T) {
+	c := newFailCtrl(2, 4)
+	if _, err := c.CreateNamespace("/app", NamespaceOptions{Replicas: 3}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if got := c.FreeBlocks(); got != 8 {
+		t.Fatalf("FreeBlocks after failed alloc = %d, want 8 (rollback)", got)
+	}
+}

@@ -53,6 +53,9 @@ var (
 	ErrValueTooBig = errors.New("jiffy: value exceeds block size")
 	ErrHasChildren = errors.New("jiffy: namespace has children")
 	ErrMinBlocks   = errors.New("jiffy: cannot scale below one block")
+	ErrNodeDown    = errors.New("jiffy: memory node is down")
+	ErrNoNode      = errors.New("jiffy: memory node does not exist")
+	ErrNoFlush     = errors.New("jiffy: no flush target configured")
 )
 
 // noExpiry is the deadline of a namespace whose lease never lapses.
@@ -131,11 +134,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// block is one fixed-size memory unit. Its storage lives on a memory node;
-// a block belongs to exactly one namespace at a time and serves as one hash
-// partition of that namespace's key-value data.
+// block is one fixed-size memory unit. Its storage is resident on one or
+// more memory nodes (the namespace's replica count); a block belongs to
+// exactly one namespace at a time and serves as one hash partition of that
+// namespace's key-value data. A block whose every replica node crashed is
+// marked lost: its data is gone until the namespace rematerializes from the
+// flush tier, and data ops against it degrade to ErrNodeDown.
 type block struct {
-	node  *MemoryNode
+	nodes []*MemoryNode // replica set; empty only transiently or when lost
+	lost  bool
 	kv    map[string][]byte
 	used  int       // bytes of KV data resident in this block
 	since time.Time // allocation time, for block-seconds metering
@@ -149,10 +156,21 @@ type MemoryNode struct {
 	// free holds this node's recycled blocks (Controller.mu): allocation
 	// reuses a retired block's map storage instead of re-making it.
 	free []*block
+	// down is the fail-stop flag. Data ops never consult it (block data
+	// survives in the shared maps); allocation and capacity accounting do.
+	down atomic.Bool
 }
 
-// Free returns the node's unallocated block count.
-func (n *MemoryNode) Free() int { return n.total - n.inUse }
+// Free returns the node's unallocated block count (zero while down).
+func (n *MemoryNode) Free() int {
+	if n.down.Load() {
+		return 0
+	}
+	return n.total - n.inUse
+}
+
+// Down reports whether the node is crashed.
+func (n *MemoryNode) Down() bool { return n.down.Load() }
 
 // Namespace is one node of the hierarchical namespace tree, owning blocks
 // and exposing KV and queue interfaces over them.
@@ -165,6 +183,7 @@ type Namespace struct {
 
 	lease         time.Duration // immutable after create
 	flushOnExpiry bool          // immutable after create
+	replicas      int           // replica nodes per block; immutable after create
 	// deadline is the lease expiry instant in unix nanoseconds (noExpiry
 	// when the lease never lapses). Data ops load it lock-free; Renew and
 	// the controller store it under ctrl.mu.
@@ -177,7 +196,8 @@ type Namespace struct {
 	mu   sync.Mutex
 	dead bool // set on removal/expiry; rejects all further data ops
 
-	blocks []*block // KV hash partitions; they also back the FIFO's capacity
+	lostBlocks int      // block groups whose every replica crashed
+	blocks     []*block // KV hash partitions; they also back the FIFO's capacity
 	// fifo is the namespace's FIFO queue. It is namespace-scoped (ordering
 	// must span partitions); its bytes count against the aggregate
 	// capacity of the namespace's blocks.
@@ -231,12 +251,16 @@ type Controller struct {
 	leases leaseHeap
 
 	// Pre-resolved observability handles; nil (no-ops) until SetObs.
-	obsAlloc     *obs.Counter
-	obsFree      *obs.Counter
-	obsLeaseExp  *obs.Counter
-	obsInUse     *obs.Gauge
-	obsOccupancy *obs.Histogram
-	obsOpLat     *obs.Histogram
+	obsAlloc        *obs.Counter
+	obsFree         *obs.Counter
+	obsLeaseExp     *obs.Counter
+	obsInUse        *obs.Gauge
+	obsOccupancy    *obs.Histogram
+	obsOpLat        *obs.Histogram
+	obsNodesDown    *obs.Gauge
+	obsRecoveries   *obs.Counter
+	obsBlocksLost   *obs.Counter
+	obsRecoveryTime *obs.Histogram
 }
 
 // SetObs attaches observability instruments. Call before traffic starts.
@@ -247,6 +271,10 @@ func (c *Controller) SetObs(r *obs.Registry) {
 	c.obsInUse = r.Gauge("jiffy.blocks.inuse")
 	c.obsOccupancy = r.ValueHistogram("jiffy.block.occupancy")
 	c.obsOpLat = r.Histogram("jiffy.op.latency")
+	c.obsNodesDown = r.Gauge("jiffy.nodes.down")
+	c.obsRecoveries = r.Counter("jiffy.recoveries")
+	c.obsBlocksLost = r.Counter("jiffy.blocks.lost")
+	c.obsRecoveryTime = r.Histogram("jiffy.recovery.time")
 }
 
 // NewController creates an empty controller. meter may be nil.
@@ -307,6 +335,12 @@ type NamespaceOptions struct {
 	// flush target (SetFlushTarget) when the lease lapses, instead of
 	// discarding it.
 	FlushOnExpiry bool
+	// Replicas is the number of distinct memory nodes each of the
+	// namespace's blocks is resident on. Default 1 (unreplicated): a node
+	// crash loses the blocks it held. With Replicas ≥ 2 a crash degrades
+	// nothing — surviving replicas keep serving and the controller restores
+	// the replica count on live nodes.
+	Replicas int
 }
 
 // CreateNamespace makes a namespace at path (parents must exist, except for
@@ -339,6 +373,10 @@ func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Names
 			return nil, fmt.Errorf("%w: parent of %q", ErrNoNamespace, path)
 		}
 	}
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
 	ns := &Namespace{
 		ctrl:          c,
 		path:          path,
@@ -346,10 +384,11 @@ func (c *Controller) CreateNamespace(path string, opts NamespaceOptions) (*Names
 		children:      map[string]*Namespace{},
 		lease:         lease,
 		flushOnExpiry: opts.FlushOnExpiry,
+		replicas:      replicas,
 	}
 	ns.deadline.Store(noExpiry)
 	for i := 0; i < opts.InitialBlocks; i++ {
-		b, err := c.allocBlockLocked()
+		b, err := c.allocBlockLocked(replicas)
 		if err != nil {
 			c.freeBlocksLocked(ns.blocks)
 			return nil, err
@@ -533,20 +572,20 @@ func (c *Controller) finish(victims []*Namespace, expired bool, target FlushTarg
 
 // allocBlock allocates one block, taking c.mu. Called from data ops that
 // hold their namespace's lock (grow/scale).
-func (c *Controller) allocBlock() (*block, error) {
+func (c *Controller) allocBlock(replicas int) (*block, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.allocBlockLocked()
+	return c.allocBlockLocked(replicas)
 }
 
 // allocBlocks allocates n blocks atomically (all or none) under one c.mu
 // acquisition.
-func (c *Controller) allocBlocks(n int) ([]*block, error) {
+func (c *Controller) allocBlocks(n, replicas int) ([]*block, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	added := make([]*block, 0, n)
 	for i := 0; i < n; i++ {
-		b, err := c.allocBlockLocked()
+		b, err := c.allocBlockLocked(replicas)
 		if err != nil {
 			c.freeBlocksLocked(added)
 			return nil, err
@@ -563,54 +602,95 @@ func (c *Controller) freeBlocks(blocks []*block) {
 	c.freeBlocksLocked(blocks)
 }
 
-// allocBlockLocked takes a block from the node with the most free capacity
-// (spreading load across the pool), reusing a recycled block from that
-// node's free-list when one exists — allocation is then pointer moves, not a
-// map re-make.
-func (c *Controller) allocBlockLocked() (*block, error) {
-	var best *MemoryNode
-	for _, n := range c.nodes {
-		if n.Free() > 0 && (best == nil || n.Free() > best.Free()) {
-			best = n
+// allocBlockLocked carves one block group out of the pool: replicas slots
+// on distinct live nodes, most-free first (spreading load across the pool),
+// reusing a recycled block from the primary node's free-list when one exists
+// — allocation is then pointer moves, not a map re-make.
+func (c *Controller) allocBlockLocked(replicas int) (*block, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	chosen := make([]*MemoryNode, 0, replicas)
+	for len(chosen) < replicas {
+		var best *MemoryNode
+		for _, n := range c.nodes {
+			if n.Free() <= 0 || containsNode(chosen, n) {
+				continue
+			}
+			if best == nil || n.Free() > best.Free() {
+				best = n
+			}
 		}
+		if best == nil {
+			for _, n := range chosen {
+				n.inUse-- // roll back partial placement
+			}
+			return nil, ErrNoCapacity
+		}
+		best.inUse++
+		chosen = append(chosen, best)
 	}
-	if best == nil {
-		return nil, ErrNoCapacity
-	}
-	best.inUse++
-	c.obsAlloc.Inc()
-	c.obsInUse.Add(1)
-	if n := len(best.free); n > 0 {
-		b := best.free[n-1]
-		best.free[n-1] = nil
-		best.free = best.free[:n-1]
+	c.obsAlloc.Add(int64(replicas))
+	c.obsInUse.Add(float64(replicas))
+	primary := chosen[0]
+	if n := len(primary.free); n > 0 {
+		b := primary.free[n-1]
+		primary.free[n-1] = nil
+		primary.free = primary.free[:n-1]
+		b.nodes = chosen
 		b.since = c.clock.Now()
 		return b, nil
 	}
-	return &block{node: best, kv: map[string][]byte{}, since: c.clock.Now()}, nil
+	return &block{nodes: chosen, kv: map[string][]byte{}, since: c.clock.Now()}, nil
+}
+
+func containsNode(nodes []*MemoryNode, n *MemoryNode) bool {
+	for _, m := range nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Controller) freeBlocksLocked(blocks []*block) {
 	now := c.clock.Now()
-	if n := len(blocks); n > 0 {
-		c.obsFree.Add(int64(n))
-		c.obsInUse.Add(-float64(n))
+	slots := 0
+	for _, b := range blocks {
+		slots += len(b.nodes)
+	}
+	if slots > 0 {
+		c.obsFree.Add(int64(slots))
+		c.obsInUse.Add(-float64(slots))
 	}
 	for _, b := range blocks {
-		b.node.inUse--
+		var home *MemoryNode
+		for _, n := range b.nodes {
+			if n.down.Load() {
+				continue // the crash already reset this node's accounting
+			}
+			n.inUse--
+			if home == nil {
+				home = n
+			}
+		}
 		c.obsOccupancy.ObserveValue(int64(b.used))
-		if c.meter != nil {
+		if c.meter != nil && len(b.nodes) > 0 {
 			held := now.Sub(b.since).Seconds()
 			c.meter.Add(billing.Record{
 				Tenant:   c.cfg.Tenant,
 				Resource: billing.ResJiffyBlockSecs,
-				Units:    held,
+				Units:    held * float64(len(b.nodes)),
 				At:       now,
 			})
 		}
 		clear(b.kv)
 		b.used = 0
-		b.node.free = append(b.node.free, b)
+		b.lost = false
+		b.nodes = nil
+		if home != nil {
+			home.free = append(home.free, b)
+		}
 	}
 }
 

@@ -124,6 +124,9 @@ func (ns *Namespace) Put(key string, value []byte) error {
 	}
 	for {
 		b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+		if b.lost {
+			return fmt.Errorf("%w: partition of %q in %q lost", ErrNodeDown, key, ns.path)
+		}
 		old, existed := b.kv[key]
 		if existed {
 			b.used -= len(key) + len(old)
@@ -149,9 +152,14 @@ func (ns *Namespace) Put(key string, value []byte) error {
 }
 
 // growLocked adds one block, re-partitioning the namespace (ns.mu held; the
-// controller lock is taken only for the allocation itself).
+// controller lock is taken only for the allocation itself). Growth is
+// refused while any partition is lost: the rehash would scatter live keys
+// into unreadable blocks.
 func (ns *Namespace) growLocked() error {
-	b, err := ns.ctrl.allocBlock()
+	if ns.lostBlocks > 0 {
+		return fmt.Errorf("%w: %q has %d lost partitions", ErrNodeDown, ns.path, ns.lostBlocks)
+	}
+	b, err := ns.ctrl.allocBlock(ns.replicas)
 	if err != nil {
 		return err
 	}
@@ -188,6 +196,10 @@ func (ns *Namespace) get(key string, copied bool) ([]byte, error) {
 		return nil, err
 	}
 	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	if b.lost {
+		ns.mu.Unlock()
+		return nil, fmt.Errorf("%w: partition of %q in %q lost", ErrNodeDown, key, ns.path)
+	}
 	v, ok := b.kv[key]
 	var out []byte
 	if ok {
@@ -215,6 +227,9 @@ func (ns *Namespace) Delete(key string) error {
 	}
 	defer ns.mu.Unlock()
 	b := ns.blocks[int(hashKey(key))%len(ns.blocks)]
+	if b.lost {
+		return fmt.Errorf("%w: partition of %q in %q lost", ErrNodeDown, key, ns.path)
+	}
 	v, ok := b.kv[key]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoKey, key)
@@ -261,8 +276,11 @@ func (ns *Namespace) Scale(delta int) (moved int, err error) {
 	if newCount < 1 {
 		return 0, fmt.Errorf("%w: %d blocks requested", ErrMinBlocks, newCount)
 	}
+	if ns.lostBlocks > 0 {
+		return 0, fmt.Errorf("%w: %q has %d lost partitions", ErrNodeDown, ns.path, ns.lostBlocks)
+	}
 	if delta > 0 {
-		added, err := c.allocBlocks(delta)
+		added, err := c.allocBlocks(delta, ns.replicas)
 		if err != nil {
 			return 0, err
 		}
@@ -329,6 +347,9 @@ func (ns *Namespace) Enqueue(item []byte) error {
 		return err
 	}
 	defer ns.mu.Unlock()
+	if len(ns.blocks) > 0 && ns.blocks[0].lost {
+		return fmt.Errorf("%w: queue partition of %q lost", ErrNodeDown, ns.path)
+	}
 	if len(item) > c.cfg.BlockSize {
 		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, len(item), c.cfg.BlockSize)
 	}
@@ -359,6 +380,10 @@ func (ns *Namespace) Dequeue() ([]byte, error) {
 	c := ns.ctrl
 	if err := ns.lockLive(c.clock.Now()); err != nil {
 		return nil, err
+	}
+	if len(ns.blocks) > 0 && ns.blocks[0].lost {
+		ns.mu.Unlock()
+		return nil, fmt.Errorf("%w: queue partition of %q lost", ErrNodeDown, ns.path)
 	}
 	if len(ns.fifo) == 0 {
 		ns.mu.Unlock()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -38,6 +39,7 @@ var (
 	ErrQuorumLost   = errors.New("ledger: ack quorum unreachable")
 	ErrBadQuorum    = errors.New("ledger: invalid quorum configuration")
 	ErrWriterClosed = errors.New("ledger: writer already closed")
+	ErrDropped      = errors.New("ledger: replication write dropped")
 )
 
 type entryKey struct {
@@ -61,6 +63,9 @@ type Bookie struct {
 	fenced  map[int64]bool
 	last    map[int64]int64 // highest entry id seen per ledger
 	down    bool
+
+	slow     int64 // atomic: injected straggler latency (ns) per request
+	dropNext int64 // under mu: next N addEntry calls fail transiently
 }
 
 // NewBookie creates an empty bookie.
@@ -83,11 +88,31 @@ func (b *Bookie) Down() bool {
 	return b.down
 }
 
+// SetSlow injects straggler behaviour: requests against this bookie cost an
+// extra d of modelled latency, paid by the caller on its clock (the slowest
+// quorum member gates an append, like a straggling replica would).
+func (b *Bookie) SetSlow(d time.Duration) { atomic.StoreInt64(&b.slow, int64(d)) }
+
+func (b *Bookie) extraLatency() time.Duration { return time.Duration(atomic.LoadInt64(&b.slow)) }
+
+// DropNext makes the next n addEntry calls fail transiently, as if the
+// replication RPC was lost in flight. The writer's single immediate retry
+// absorbs isolated drops; bursts force quorum handling.
+func (b *Bookie) DropNext(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dropNext = int64(n)
+}
+
 func (b *Bookie) addEntry(ledgerID, entryID int64, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.down {
 		return fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
+	}
+	if b.dropNext > 0 {
+		b.dropNext--
+		return fmt.Errorf("%w: %s", ErrDropped, b.ID)
 	}
 	if b.fenced[ledgerID] {
 		return fmt.Errorf("%w: ledger %d on %s", ErrFenced, ledgerID, b.ID)
@@ -173,10 +198,14 @@ type System struct {
 	nextID  int64
 
 	// Pre-resolved observability handles; nil (no-ops) until SetObs.
-	obsAppends   *obs.Counter
-	obsAppendLat *obs.Histogram
-	obsFanIn     *obs.Histogram
-	obsReadLat   *obs.Histogram
+	obsAppends      *obs.Counter
+	obsAppendLat    *obs.Histogram
+	obsFanIn        *obs.Histogram
+	obsReadLat      *obs.Histogram
+	obsRecoveries   *obs.Counter
+	obsRecoveryTime *obs.Histogram
+	obsReplacements *obs.Counter
+	obsReplicated   *obs.Counter
 }
 
 // SetObs attaches observability instruments. Call before traffic starts.
@@ -185,6 +214,10 @@ func (s *System) SetObs(r *obs.Registry) {
 	s.obsAppendLat = r.Histogram("ledger.append.latency")
 	s.obsFanIn = r.ValueHistogram("ledger.append.batch.fanin")
 	s.obsReadLat = r.Histogram("ledger.read.latency")
+	s.obsRecoveries = r.Counter("ledger.recoveries")
+	s.obsRecoveryTime = r.Histogram("ledger.recovery.time")
+	s.obsReplacements = r.Counter("ledger.ensemble.replacements")
+	s.obsReplicated = r.Counter("ledger.rereplicated.entries")
 }
 
 // NewSystem creates a ledger system using meta for metadata.
@@ -209,6 +242,14 @@ func (s *System) Bookie(id string) (*Bookie, bool) {
 	defer s.mu.Unlock()
 	b, ok := s.bookies[id]
 	return b, ok
+}
+
+// BookieIDs returns bookie ids in registration order (a stable target list
+// for fault injection).
+func (s *System) BookieIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
 }
 
 // Writer appends entries to an open ledger. A ledger has a single writer.
@@ -265,7 +306,7 @@ func (w *Writer) Append(data []byte) (int64, error) {
 	if w.sys.obsAppendLat != nil {
 		start = w.sys.clock.Now()
 	}
-	w.sys.clock.Sleep(w.sys.AppendLatency)
+	w.sys.clock.Sleep(w.sys.AppendLatency + w.stragglerExtra())
 	entryID := w.next
 	if err := w.replicate(entryID, data); err != nil {
 		return 0, err
@@ -300,7 +341,7 @@ func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
 	if w.sys.obsAppendLat != nil {
 		start = w.sys.clock.Now()
 	}
-	w.sys.clock.Sleep(w.sys.AppendLatency)
+	w.sys.clock.Sleep(w.sys.AppendLatency + w.stragglerExtra())
 	for _, data := range entries {
 		if err := w.replicate(w.next, data); err != nil {
 			return first, err
@@ -316,30 +357,165 @@ func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
 }
 
 // replicate pushes one entry to its write quorum and requires ackQuorum
-// durable copies. A fenced ensemble permanently closes the writer.
+// durable copies. A fenced ensemble permanently closes the writer. When the
+// quorum cannot be reached because replicas are down, the writer performs a
+// BookKeeper-style ensemble change instead of failing: the dead bookies are
+// swapped for live spares in the metadata, the entry retries against the new
+// ensemble, and a background task re-replicates earlier entries onto the
+// replacements.
 func (w *Writer) replicate(entryID int64, data []byte) error {
-	acks := 0
-	var lastErr error
-	for j := 0; j < w.meta.WriteQuorum; j++ {
-		bid := w.meta.Ensemble[int(entryID+int64(j))%len(w.meta.Ensemble)]
-		b, ok := w.sys.Bookie(bid)
-		if !ok {
-			continue
-		}
-		if err := b.addEntry(w.ledgerID, entryID, data); err != nil {
-			lastErr = err
-			if errors.Is(err, ErrFenced) {
-				w.closed = true
-				return err
+	const maxEnsembleChanges = 2
+	for change := 0; ; change++ {
+		acks := 0
+		var lastErr error
+		var failed []int // ensemble positions that did not ack
+		for j := 0; j < w.meta.WriteQuorum; j++ {
+			pos := int((entryID + int64(j)) % int64(len(w.meta.Ensemble)))
+			b, ok := w.sys.Bookie(w.meta.Ensemble[pos])
+			if !ok {
+				failed = append(failed, pos)
+				continue
 			}
+			err := b.addEntry(w.ledgerID, entryID, data)
+			if errors.Is(err, ErrDropped) {
+				// One immediate retry absorbs an isolated lost RPC.
+				err = b.addEntry(w.ledgerID, entryID, data)
+			}
+			if err != nil {
+				if errors.Is(err, ErrFenced) {
+					w.closed = true
+					return err
+				}
+				lastErr = err
+				failed = append(failed, pos)
+				continue
+			}
+			acks++
+		}
+		if acks >= w.meta.AckQuorum {
+			return nil
+		}
+		if change >= maxEnsembleChanges || len(failed) == 0 {
+			return fmt.Errorf("%w: %d/%d acks (%v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr)
+		}
+		if err := w.replaceBookies(failed); err != nil {
+			return fmt.Errorf("%w: %d/%d acks (%v; ensemble change failed: %v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr, err)
+		}
+	}
+}
+
+// replaceBookies swaps the ensemble members at the given positions for live
+// spare bookies, persists the updated metadata, and starts background
+// re-replication of the entries previously striped onto those positions.
+// Fails with ErrNotEnough when no spare is available.
+func (w *Writer) replaceBookies(positions []int) error {
+	start := w.sys.clock.Now()
+	inUse := make(map[string]bool, len(w.meta.Ensemble))
+	for _, id := range w.meta.Ensemble {
+		inUse[id] = true
+	}
+	w.sys.mu.Lock()
+	var spares []string
+	for _, id := range w.sys.order {
+		if !inUse[id] && !w.sys.bookies[id].Down() {
+			spares = append(spares, id)
+		}
+	}
+	w.sys.mu.Unlock()
+	if len(spares) < len(positions) {
+		return fmt.Errorf("%w: need %d spare bookies, have %d", ErrNotEnough, len(positions), len(spares))
+	}
+	ensemble := append([]string(nil), w.meta.Ensemble...)
+	replaced := make(map[int]string, len(positions)) // position -> old bookie
+	for i, pos := range positions {
+		replaced[pos] = ensemble[pos]
+		ensemble[pos] = spares[i]
+	}
+	w.meta.Ensemble = ensemble
+	raw, _ := json.Marshal(w.meta)
+	if _, err := w.sys.meta.Set(metaPath(w.ledgerID), raw, coord.AnyVersion); err != nil {
+		return err
+	}
+	w.sys.obsReplacements.Add(int64(len(positions)))
+	// Restore the write quorum for the ledger prefix on a tracked goroutine
+	// so the append path is not blocked behind the copy.
+	md := w.meta
+	md.Ensemble = append([]string(nil), ensemble...)
+	upto := w.next
+	sys, ledgerID := w.sys, w.ledgerID
+	sys.clock.Go(func() {
+		copied := sys.rereplicate(ledgerID, md, replaced, upto)
+		sys.obsReplicated.Add(int64(copied))
+		sys.obsRecoveries.Inc()
+		sys.obsRecoveryTime.Observe(sys.clock.Now().Sub(start))
+	})
+	return nil
+}
+
+// rereplicate copies every entry in [0, upto) whose replica set includes a
+// replaced ensemble position from a surviving replica onto the replacement
+// bookie. Entries with no reachable replica are skipped: they were either
+// never acked, or lost beyond what the quorum can protect.
+func (s *System) rereplicate(ledgerID int64, md metadata, replaced map[int]string, upto int64) int {
+	copied := 0
+	for e := int64(0); e < upto; e++ {
+		for j := 0; j < md.WriteQuorum; j++ {
+			pos := int((e + int64(j)) % int64(len(md.Ensemble)))
+			old, wasReplaced := replaced[pos]
+			if !wasReplaced {
+				continue
+			}
+			dst, ok := s.Bookie(md.Ensemble[pos])
+			if !ok {
+				continue
+			}
+			data := s.readReplica(ledgerID, md, e, pos)
+			if data == nil {
+				// Last resort: the replaced bookie may still serve reads
+				// (e.g. it only dropped writes).
+				if ob, ok := s.Bookie(old); ok {
+					data, _ = ob.readEntry(ledgerID, e)
+				}
+			}
+			if data == nil {
+				continue
+			}
+			if err := dst.addEntry(ledgerID, e, data); err == nil {
+				copied++
+			}
+		}
+	}
+	return copied
+}
+
+// readReplica fetches one entry from any replica position other than skipPos.
+func (s *System) readReplica(ledgerID int64, md metadata, entryID int64, skipPos int) []byte {
+	for j := 0; j < md.WriteQuorum; j++ {
+		pos := int((entryID + int64(j)) % int64(len(md.Ensemble)))
+		if pos == skipPos {
 			continue
 		}
-		acks++
-	}
-	if acks < w.meta.AckQuorum {
-		return fmt.Errorf("%w: %d/%d acks (%v)", ErrQuorumLost, acks, w.meta.AckQuorum, lastErr)
+		if b, ok := s.Bookie(md.Ensemble[pos]); ok {
+			if data, err := b.readEntry(ledgerID, entryID); err == nil {
+				return data
+			}
+		}
 	}
 	return nil
+}
+
+// stragglerExtra is the injected latency gating an append: the slowest
+// ensemble member bounds the quorum round trip.
+func (w *Writer) stragglerExtra() time.Duration {
+	var max time.Duration
+	for _, bid := range w.meta.Ensemble {
+		if b, ok := w.sys.Bookie(bid); ok {
+			if d := b.extraLatency(); d > max {
+				max = d
+			}
+		}
+	}
+	return max
 }
 
 // Close seals the ledger, recording the last entry id in metadata.
@@ -406,6 +582,7 @@ func (r *Reader) Read(entryID int64) ([]byte, error) {
 		}
 		data, err := b.readEntry(r.ledgerID, entryID)
 		if err == nil {
+			r.sys.clock.Sleep(b.extraLatency())
 			return data, nil
 		}
 		lastErr = err

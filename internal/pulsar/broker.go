@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -22,6 +23,7 @@ var (
 	ErrNoBroker       = errors.New("pulsar: no live broker available")
 	ErrBadTopicName   = errors.New("pulsar: invalid topic name")
 	ErrConsumerClosed = errors.New("pulsar: consumer is closed")
+	ErrPublishDropped = errors.New("pulsar: publish dropped")
 )
 
 // consumerReg is a consumer's registration on a broker-side subscription.
@@ -91,6 +93,34 @@ type Broker struct {
 	mu     sync.RWMutex
 	topics map[string]*topicState
 	down   bool
+
+	// Chaos hooks: slow adds latency to every publish; dropNext fails the
+	// next N publishes before the durable append (so nothing is ever acked
+	// and then lost). Both atomics — no lock on the hot path.
+	slow     int64
+	dropNext int64
+}
+
+// SetSlow makes every subsequent publish on this broker take an extra d
+// (a straggler broker). Zero clears it.
+func (b *Broker) SetSlow(d time.Duration) { atomic.StoreInt64(&b.slow, int64(d)) }
+
+func (b *Broker) extraLatency() time.Duration { return time.Duration(atomic.LoadInt64(&b.slow)) }
+
+// DropNext makes the broker reject the next n publishes (before anything is
+// appended durably) with ErrPublishDropped — a lossy-network injection.
+func (b *Broker) DropNext(n int) { atomic.StoreInt64(&b.dropNext, int64(n)) }
+
+func (b *Broker) takeDrop() bool {
+	for {
+		n := atomic.LoadInt64(&b.dropNext)
+		if n <= 0 {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&b.dropNext, n, n-1) {
+			return true
+		}
+	}
 }
 
 // SetDown injects or clears a broker crash. Going down releases all topic
@@ -130,6 +160,12 @@ func (b *Broker) topicLocked(topicName string) (*topicState, error) {
 
 // publish appends a message durably and dispatches it to subscribers.
 func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
+	if d := b.extraLatency(); d > 0 {
+		b.cluster.clock.Sleep(d) // before any lock: sleeping under a lock stalls the virtual clock
+	}
+	if b.takeDrop() {
+		return 0, fmt.Errorf("%w: %s", ErrPublishDropped, b.ID)
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	ts, err := b.topicLocked(topicName)
@@ -169,6 +205,12 @@ func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 // producer already made the defensive copy when it buffered them); all
 // messages share one PublishTime. Returns the first assigned seq.
 func (b *Broker) publishBatch(topicName string, keys []string, payloads [][]byte) (int64, error) {
+	if d := b.extraLatency(); d > 0 {
+		b.cluster.clock.Sleep(d)
+	}
+	if b.takeDrop() {
+		return 0, fmt.Errorf("%w: %s", ErrPublishDropped, b.ID)
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	ts, err := b.topicLocked(topicName)
@@ -308,16 +350,15 @@ func (b *Broker) ack(topicName, subName string, seq int64) error {
 	}
 	delete(sub.pending, seq)
 	sub.acks[seq] = true
-	advanced := false
 	for sub.acks[sub.ackedPrefix] {
 		delete(sub.acks, sub.ackedPrefix)
 		sub.ackedPrefix++
-		advanced = true
 	}
 	sub.updateBacklogLocked(ts)
-	if advanced {
-		b.cluster.persistCursor(sub)
-	}
+	// Persist on every ack, not just prefix advances: out-of-order acks
+	// beyond the prefix must survive a broker failover, or the new owner
+	// would redeliver already-acked messages.
+	b.cluster.persistCursor(sub)
 	return nil
 }
 
@@ -403,6 +444,10 @@ func (b *Broker) loadTopic(topicName string) error {
 	if err != nil {
 		return err
 	}
+	// Prior ledgers mean this is a failover takeover, not a first election;
+	// time the whole recovery (ledger fencing + replay + cursor restore).
+	takeover := len(ids) > 0
+	recoverStart := c.clock.Now()
 	ts := &topicState{name: topicName, subs: map[string]*subscription{}}
 	for _, id := range ids {
 		r, err := c.ledgers.Recover(id)
@@ -450,10 +495,19 @@ func (b *Broker) loadTopic(topicName string) error {
 			nextDispatch: cur.AckedPrefix,
 			backlogGauge: c.obs.Gauge("pulsar.backlog." + topicName + "." + name),
 		}
+		// Restore out-of-order acks so the new owner never redelivers a
+		// message the subscription already acked.
+		for _, seq := range cur.Acks {
+			sub.acks[seq] = true
+		}
 		ts.subs[name] = sub
 		sub.updateBacklogLocked(ts)
 	}
 	b.topics[topicName] = ts
+	if takeover {
+		c.obsRecoveries.Inc()
+		c.obsRecoveryTime.Observe(c.clock.Now().Sub(recoverStart))
+	}
 	return nil
 }
 
@@ -475,10 +529,12 @@ func (b *Broker) backlog(topicName, subName string) (int64, error) {
 }
 
 // cursorRecord is the durable per-subscription state in the coordination
-// service.
+// service: the contiguous acked prefix plus any out-of-order acks beyond it
+// (Shared/KeyShared subscriptions ack out of order routinely).
 type cursorRecord struct {
 	Mode        SubMode `json:"mode"`
 	AckedPrefix int64   `json:"acked_prefix"`
+	Acks        []int64 `json:"acks,omitempty"`
 }
 
 func encodeCursor(c cursorRecord) []byte { b, _ := json.Marshal(c); return b }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -74,11 +75,15 @@ type Cluster struct {
 	// Pre-resolved observability handles; nil (no-ops) until SetObs. The
 	// registry itself is kept for per-subscription backlog gauges, which are
 	// created lazily when subscriptions appear.
-	obs            *obs.Registry
-	obsPublished   *obs.Counter
-	obsPublishLat  *obs.Histogram
-	obsDispatchLat *obs.Histogram
-	obsBatchSize   *obs.Histogram
+	obs              *obs.Registry
+	obsPublished     *obs.Counter
+	obsPublishLat    *obs.Histogram
+	obsDispatchLat   *obs.Histogram
+	obsBatchSize     *obs.Histogram
+	obsRecoveries    *obs.Counter
+	obsRecoveryTime  *obs.Histogram
+	obsGeoReplicated *obs.Counter
+	obsGeoDropped    *obs.Counter
 }
 
 // SetObs attaches observability instruments. Call before traffic starts: the
@@ -89,6 +94,10 @@ func (c *Cluster) SetObs(r *obs.Registry) {
 	c.obsPublishLat = r.Histogram("pulsar.publish.latency")
 	c.obsDispatchLat = r.Histogram("pulsar.dispatch.latency")
 	c.obsBatchSize = r.ValueHistogram("pulsar.publish.batch.size")
+	c.obsRecoveries = r.Counter("pulsar.recoveries")
+	c.obsRecoveryTime = r.Histogram("pulsar.recovery.time")
+	c.obsGeoReplicated = r.Counter("pulsar.georepl.replicated")
+	c.obsGeoDropped = r.Counter("pulsar.georepl.dropped")
 }
 
 // NewCluster creates a cluster. meter may be nil.
@@ -130,6 +139,14 @@ func (c *Cluster) Broker(id string) (*Broker, bool) {
 	defer c.mu.Unlock()
 	b, ok := c.brokers[id]
 	return b, ok
+}
+
+// BrokerIDs returns broker ids in registration order (a stable target list
+// for fault injection).
+func (c *Cluster) BrokerIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.brokerOrder...)
 }
 
 // CreateTopic declares a topic. partitions == 0 creates a plain topic;
@@ -304,7 +321,12 @@ func (c *Cluster) persistCursor(sub *subscription) {
 	base := "/pulsar/subs/" + sub.topicName
 	_ = c.meta.EnsurePath(base)
 	path := base + "/" + sub.name
-	raw := encodeCursor(cursorRecord{Mode: sub.mode, AckedPrefix: sub.ackedPrefix})
+	var acks []int64
+	for seq := range sub.acks {
+		acks = append(acks, seq)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	raw := encodeCursor(cursorRecord{Mode: sub.mode, AckedPrefix: sub.ackedPrefix, Acks: acks})
 	if !c.meta.Exists(path) {
 		_ = c.meta.Create(path, raw, coord.Persistent, 0)
 		return

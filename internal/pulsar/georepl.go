@@ -18,6 +18,7 @@ type Replicator struct {
 	wg      sync.WaitGroup
 
 	replicated int64
+	dropped    int64
 }
 
 // ReplicatorConfig parameterizes geo-replication.
@@ -31,6 +32,16 @@ type ReplicatorConfig struct {
 	SubscriptionName string
 	// Poll bounds the replicator's idle wait (default 5ms).
 	Poll time.Duration
+	// MaxRetries bounds how many times a failed destination publish is
+	// retried (with doubling backoff from RetryBase) before the message is
+	// dropped — acked on the source and counted in pulsar.georepl.dropped —
+	// so one poisoned message cannot wedge the replication stream forever.
+	// 0 means the default (5); negative retries forever (the pre-bounded
+	// behavior: leave unacked and let the cursor hold position).
+	MaxRetries int
+	// RetryBase is the first retry backoff; it doubles per retry. Default
+	// Poll.
+	RetryBase time.Duration
 }
 
 // StartReplicator begins replicating src's messages (from the earliest
@@ -43,6 +54,12 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 5 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = cfg.Poll
 	}
 	cons, err := src.Subscribe(cfg.SrcTopic, cfg.SubscriptionName, Failover, Earliest)
 	if err != nil {
@@ -64,14 +81,32 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 				src.clock.Sleep(cfg.Poll)
 				continue
 			}
-			if _, err := prod.SendKey(m.Key, m.Payload); err != nil {
-				// Destination unavailable: leave unacked; the message
-				// redelivers and replication resumes when dst recovers.
-				src.clock.Sleep(cfg.Poll)
+			_, err := prod.SendKey(m.Key, m.Payload)
+			backoff := cfg.RetryBase
+			for retry := 0; err != nil && (cfg.MaxRetries < 0 || retry < cfg.MaxRetries); retry++ {
+				if atomic.LoadInt32(&r.stopped) != 0 {
+					break
+				}
+				src.clock.Sleep(backoff)
+				backoff *= 2
+				_, err = prod.SendKey(m.Key, m.Payload)
+			}
+			if err != nil {
+				if cfg.MaxRetries < 0 {
+					// Unbounded mode, stopped mid-retry: leave unacked so the
+					// durable cursor holds position for the next replicator.
+					continue
+				}
+				// Retries exhausted: drop the message rather than wedge the
+				// stream — ack it on the source and count the loss.
+				atomic.AddInt64(&r.dropped, 1)
+				src.obsGeoDropped.Inc()
+				_ = cons.Ack(m)
 				continue
 			}
 			if err := cons.Ack(m); err == nil {
 				atomic.AddInt64(&r.replicated, 1)
+				src.obsGeoReplicated.Inc()
 			}
 		}
 	})
@@ -80,6 +115,10 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 
 // Replicated returns how many messages have been mirrored.
 func (r *Replicator) Replicated() int64 { return atomic.LoadInt64(&r.replicated) }
+
+// Dropped returns how many messages were abandoned after exhausting their
+// destination-publish retries.
+func (r *Replicator) Dropped() int64 { return atomic.LoadInt64(&r.dropped) }
 
 // Stop halts replication (clock-aware).
 func (r *Replicator) Stop() {

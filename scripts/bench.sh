@@ -16,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
-pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead}"
+pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry}"
 benchtime="${BENCH_TIME:-1s}"
 
 go_version="$(go env GOVERSION)"

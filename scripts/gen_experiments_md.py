@@ -34,6 +34,7 @@ SHAPES = {
     "E24": "Cold-start p99 and per-instance overhead fall monotonically from containers through gVisor and Firecracker microVMs to unikernels, while packing density rises — the lightweight-isolation direction §6 points at.",
     "E25": "Down the ladder — bare metal, VMs, containers, FaaS — provisioning time falls from weeks to milliseconds and the billing granule from a month to 100ms; monthly cost and the paid/used ratio fall monotonically, with serverless paying almost exactly for use.",
     "E22": "On-demand sporadic traffic pays a cold start on every request; provisioned concurrency eliminates cold starts entirely while holding standing instances.",
+    "E26": "Every acked write survives the seeded fault schedule — ledger entries re-read exactly, Jiffy KV and FIFO state intact after node loss, no acked publish undelivered across broker takeover — and two runs with the same seed produce byte-identical digests (the chaos plane is deterministic).",
 }
 
 HEADER = """# EXPERIMENTS — paper claims vs. measured results
