@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faas"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
+	"repro/internal/scheduler"
 	"repro/internal/simclock"
 	"repro/internal/sketch"
 	"repro/internal/workload"
@@ -70,6 +72,7 @@ func BenchmarkE23ORAM(b *testing.B)             { benchExperiment(b, "E23") }
 func BenchmarkE24IsolationTech(b *testing.B)    { benchExperiment(b, "E24") }
 func BenchmarkE25Evolution(b *testing.B)        { benchExperiment(b, "E25") }
 func BenchmarkE26ChaosRecovery(b *testing.B)    { benchExperiment(b, "E26") }
+func BenchmarkE27Elastic(b *testing.B)          { benchExperiment(b, "E27") }
 
 // --- micro-benchmarks on the real clock (data-plane hot paths) ---
 
@@ -393,6 +396,60 @@ func BenchmarkJiffyPutGetParallel(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkAdmission measures what per-tenant admission costs on the warm
+// invoke path: "off" is the uninstrumented baseline, "on" adds the weighted
+// token-bucket admit per request (rate high enough that nothing ever queues,
+// so the number is pure bookkeeping overhead).
+func BenchmarkAdmission(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := core.New(core.Options{})
+			if mode.on {
+				p.FaaS.SetAdmission(faas.AdmissionConfig{RatePerSecond: 1e9, Burst: 1e9})
+			}
+			bench := p.Tenant("bench")
+			if err := bench.Register("noop", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+				return in, nil
+			}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bench.Invoke("noop", nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Invoke("noop", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAutoscaleTick measures one control-loop evaluation over a
+// 64-function platform with a cluster attached — the recurring cost the
+// elastic control plane adds per tick, independent of traffic.
+func BenchmarkAutoscaleTick(b *testing.B) {
+	p := core.New(core.Options{})
+	p.FaaS.AttachCluster(scheduler.NewCluster(scheduler.Resources{CPU: 4000, MemMB: 16384}, scheduler.FirstFit{}), 0)
+	bench := p.Tenant("bench")
+	for i := 0; i < 64; i++ {
+		if err := bench.Register(fmt.Sprintf("fn%d", i), func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctrl := autoscale.New(p.Clock, p.FaaS, p.FaaS.Cluster(), autoscale.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Tick()
+	}
 }
 
 // BenchmarkCountMinAdd measures the Figure-3 sketch's update path.

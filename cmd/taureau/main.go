@@ -11,6 +11,7 @@
 //	taureau -demo stream      # Count-Min as a Pulsar function (Fig. 3)
 //	taureau -demo state       # Jiffy namespaces, scaling, leases
 //	taureau -demo oram        # Path ORAM access-pattern hiding (§6)
+//	taureau -demo burst       # autoscaler under a 10× open-loop burst (§4.1)
 //	taureau -list             # list demos
 //
 // Telemetry:
@@ -19,6 +20,7 @@
 //	taureau -demo stream -metrics -format prom   # Prometheus text exposition
 //	taureau -demo pipeline -trace                # trace spans as a JSON list
 //	taureau -demo stream -serve :9090            # keep serving /metrics + pprof
+//	taureau -demo burst -serve :9090             # … plus /autoscale state
 //
 // Chaos:
 //
@@ -32,16 +34,22 @@ import (
 	"log"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
+	"net/http"
+
+	"repro/internal/autoscale"
 	"repro/internal/blob"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/faas"
 	"repro/internal/jiffy"
+	"repro/internal/obs"
 	"repro/internal/oram"
 	"repro/internal/orchestrate"
 	"repro/internal/pulsar"
+	"repro/internal/scheduler"
 	"repro/internal/simclock"
 	"repro/internal/sketch"
 	"repro/internal/workload"
@@ -53,6 +61,7 @@ var demos = map[string]func(*core.Platform, simclock.Clock){
 	"stream":   demoStream,
 	"state":    demoState,
 	"oram":     demoORAM,
+	"burst":    demoBurst,
 }
 
 func main() {
@@ -134,22 +143,33 @@ func main() {
 		fmt.Println()
 	}
 	if *serve != "" {
-		fmt.Printf("\nserving /metrics, /metrics.json, /trace and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
-		if err := platform.Obs.Serve(*serve); err != nil {
+		fmt.Printf("\nserving /metrics, /metrics.json, /trace, /autoscale and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
+		autoscaleRoute := obs.Route{Pattern: "/autoscale", Handler: func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			var st autoscale.Status
+			if platform.Autoscaler != nil {
+				st = platform.Autoscaler.Status()
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(st)
+		}}
+		if err := platform.Obs.Serve(*serve, autoscaleRoute); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
 func demoInvoke(p *core.Platform, clock simclock.Clock) {
-	if err := p.Register("hello", "demo", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	demo := p.Tenant("demo")
+	if err := demo.Register("hello", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		ctx.Work(30 * time.Millisecond)
 		return []byte(fmt.Sprintf("hello %s", in)), nil
 	}, faas.Config{MemoryMB: 256}); err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		res, err := p.Invoke("hello", []byte(fmt.Sprintf("call-%d", i)))
+		res, err := demo.Invoke("hello", []byte(fmt.Sprintf("call-%d", i)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -158,12 +178,13 @@ func demoInvoke(p *core.Platform, clock simclock.Clock) {
 }
 
 func demoPipeline(p *core.Platform, clock simclock.Clock) {
+	demo := p.Tenant("demo")
 	if err := p.Blob.CreateBucket("in", "demo"); err != nil {
 		log.Fatal(err)
 	}
 	for _, step := range []string{"extract", "transform", "load"} {
 		step := step
-		if err := p.Register(step, "demo", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := demo.Register(step, func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			ctx.Work(25 * time.Millisecond)
 			return append(in, []byte("|"+step)...), nil
 		}, faas.Config{MemoryMB: 128}); err != nil {
@@ -177,7 +198,7 @@ func demoPipeline(p *core.Platform, clock simclock.Clock) {
 	}
 	var results []string
 	faas.BindBlob(p.FaaS, p.Blob, "in", "driver")
-	if err := p.Register("driver", "demo", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	if err := demo.Register("driver", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		out, err := p.Orchestrator.Execute(orchestrate.Task("etl"), in)
 		if err == nil {
 			results = append(results, string(out))
@@ -280,6 +301,98 @@ func demoORAM(p *core.Platform, clock simclock.Clock) {
 		2*(client.Levels()+1), client.Levels()+1, writeDur.Round(time.Millisecond), readDur.Round(time.Millisecond))
 	fmt.Printf("the store observed %d reads and %d writes — none reveal which block was used\n",
 		client.Reads, client.Writes)
+}
+
+// demoBurst drives the elastic control plane (§4.1) with an open-loop 10×
+// burst: steady 2 rps, a 20 rps surge, then idle. The autoscaler panics up,
+// absorbs the surge, re-converges, and finally scales the function — and the
+// machines behind it — back to zero.
+func demoBurst(p *core.Platform, clock simclock.Clock) {
+	demo := p.Tenant("demo")
+	// A machine fleet so the controller has something to grow and drain:
+	// each machine holds four 1000-mCPU instances.
+	p.FaaS.AttachCluster(scheduler.NewCluster(scheduler.Resources{CPU: 4000, MemMB: 16384}, scheduler.FirstFit{}), 0)
+	if err := demo.Register("api", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		ctx.Work(250 * time.Millisecond)
+		return in, nil
+	}, faas.Config{
+		MemoryMB:        128,
+		ColdStart:       200 * time.Millisecond,
+		KeepAlive:       4 * time.Second,
+		ColdStartBudget: 10 * time.Second,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ctrl := p.EnableAutoscale(autoscale.Config{
+		TickInterval:     time.Second,
+		StableWindow:     20 * time.Second,
+		PanicWindow:      3 * time.Second,
+		ScaleToZeroAfter: 5 * time.Second,
+		DrainDelay:       4 * time.Second,
+	})
+	defer ctrl.Stop()
+
+	const (
+		baseRPS = 2.0
+		window  = 30 * time.Second
+	)
+	rf := workload.Burst(baseRPS, 10, 5*time.Second, 5*time.Second)
+	// Off-grid arrivals (+500µs) cannot race a same-instant autoscaler tick,
+	// which keeps the virtual-clock run deterministic.
+	arrivals := workload.OffsetArrivals(workload.Arrivals(rf, window, 42), 500*time.Microsecond)
+	fmt.Printf("open-loop drive: %.0f rps steady, 10× burst at 5s for 5s — %d arrivals over %v\n",
+		baseRPS, len(arrivals), window)
+
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		latencies []time.Duration
+		cold      int
+		peakWant  int
+	)
+	start := clock.Now()
+	for _, at := range arrivals {
+		at := at
+		wg.Add(1)
+		clock.Go(func() {
+			defer wg.Done()
+			clock.Sleep(at - clock.Now().Sub(start))
+			res, err := demo.Invoke("api", []byte("r"))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			latencies = append(latencies, res.Latency)
+			if res.Cold {
+				cold++
+			}
+			mu.Unlock()
+		})
+	}
+	// Sample the controller's desired count while the surge is in flight.
+	wg.Add(1)
+	clock.Go(func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			clock.Sleep(time.Second)
+			for _, f := range ctrl.Status().Functions {
+				if f.Name == "api" && f.Desired > peakWant {
+					peakWant = f.Desired
+				}
+			}
+		}
+	})
+	clock.BlockOn(wg.Wait)
+
+	p99, _ := faas.PercentileOK(latencies, 99)
+	fmt.Printf("served %d/%d invocations (%d cold starts), p99 %v, peak desired instances %d\n",
+		len(latencies), len(arrivals), cold, p99.Round(time.Millisecond), peakWant)
+
+	clock.Sleep(15 * time.Second) // idle: scale-to-zero + machine drain
+	st := ctrl.Status()
+	pool, _ := p.FaaS.PoolTarget("api")
+	fmt.Printf("after %v idle: pool=%d machines=%d retired=%d (scale-to-zero reclaimed the fleet)\n",
+		15*time.Second, pool, st.Machines, st.Retired)
 }
 
 // startChaos generates a seeded fault schedule against the platform's

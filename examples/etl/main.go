@@ -33,6 +33,7 @@ type photo struct {
 
 func main() {
 	platform, clock := core.NewVirtual(core.Options{})
+	acme := platform.Tenant("acme")
 	defer clock.Close()
 
 	clock.Run(func() {
@@ -117,7 +118,7 @@ func main() {
 
 		// Blob uploads drive the pipeline, event-style.
 		faas.BindBlob(platform.FaaS, platform.Blob, "photos", "etl-driver")
-		if err := platform.Register("etl-driver", "acme", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		if err := acme.Register("etl-driver", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			return platform.Orchestrator.Execute(orchestrate.Task("etl-pipeline"), payload)
 		}, faas.Config{MemoryMB: 128}); err != nil {
 			log.Fatal(err)
@@ -162,5 +163,5 @@ func main() {
 	})
 
 	fmt.Println()
-	fmt.Print(platform.Invoice("acme"))
+	fmt.Print(acme.Invoice())
 }

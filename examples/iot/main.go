@@ -28,6 +28,7 @@ type registration struct {
 
 func main() {
 	platform, clock := core.NewVirtual(core.Options{})
+	iotCo := platform.Tenant("iot-co")
 	defer clock.Close()
 
 	clock.Run(func() {
@@ -71,7 +72,7 @@ func main() {
 			}
 			return nil, nil
 		}
-		if err := platform.Register("register-device", "iot-co", register, faas.Config{MemoryMB: 128}); err != nil {
+		if err := iotCo.Register("register-device", register, faas.Config{MemoryMB: 128}); err != nil {
 			log.Fatal(err)
 		}
 		if err := faas.BindQueue(platform.FaaS, platform.Queue, "registrations", "register-device", 10); err != nil {
@@ -106,11 +107,11 @@ func main() {
 			}
 			return json.Marshal(ids)
 		}
-		if err := platform.Register("query-devices", "iot-co", queryFn, faas.Config{MemoryMB: 128}); err != nil {
+		if err := iotCo.Register("query-devices", queryFn, faas.Config{MemoryMB: 128}); err != nil {
 			log.Fatal(err)
 		}
 		for _, kind := range kinds {
-			res, err := platform.Invoke("query-devices", []byte(kind))
+			res, err := iotCo.Invoke("query-devices", []byte(kind))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -129,7 +130,7 @@ func main() {
 	})
 
 	fmt.Println()
-	fmt.Print(platform.Invoice("iot-co"))
+	fmt.Print(iotCo.Invoice())
 }
 
 func min(a, b int) int {

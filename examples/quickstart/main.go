@@ -19,6 +19,7 @@ func main() {
 	// simclock.Real{} via core.Options to run against wall time instead.
 	platform, clock := core.NewVirtual(core.Options{})
 	defer clock.Close()
+	acme := platform.Tenant("acme")
 
 	clock.Run(func() {
 		// 1. Deploy a function. No servers, no capacity planning: just a
@@ -27,7 +28,7 @@ func main() {
 			ctx.Work(20 * time.Millisecond) // modelled compute
 			return []byte(fmt.Sprintf("hello, %s (request %d)", payload, ctx.RequestID)), nil
 		}
-		if err := platform.Register("greet", "acme", greet, faas.Config{
+		if err := acme.Register("greet", greet, faas.Config{
 			MemoryMB:  256,
 			KeepAlive: time.Minute,
 		}); err != nil {
@@ -37,7 +38,7 @@ func main() {
 		// 2. Invoke it. The first call pays a cold start; the second
 		// reuses the warm instance.
 		for _, name := range []string{"bull", "picasso"} {
-			res, err := platform.Invoke("greet", []byte(name))
+			res, err := acme.Invoke("greet", []byte(name))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -71,6 +72,6 @@ func main() {
 	// 5. Fine-grained billing: pay for 20ms granules of actual use, not
 	// reserved servers (§2 "cost efficiency").
 	fmt.Println()
-	fmt.Print(platform.Invoice("acme"))
+	fmt.Print(acme.Invoice())
 	fmt.Printf("\nsimulated time elapsed: %v\n", platform.Elapsed())
 }

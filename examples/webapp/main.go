@@ -30,6 +30,7 @@ type cartRequest struct {
 
 func main() {
 	platform, clock := core.NewVirtual(core.Options{})
+	shop := platform.Tenant("shop")
 	defer clock.Close()
 
 	clock.Run(func() {
@@ -74,7 +75,7 @@ func main() {
 		sp := stateful.New(platform.FaaS, ns)
 
 		// GET /static/* — serve from blob.
-		if err := platform.Register("serve-static", "shop", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		if err := shop.Register("serve-static", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			ctx.Work(2 * time.Millisecond)
 			body, _, err := platform.Blob.Get("static", string(payload))
 			return body, err
@@ -83,7 +84,7 @@ func main() {
 		}
 
 		// GET /products?category=X — query through the secondary index.
-		if err := platform.Register("list-products", "shop", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		if err := shop.Register("list-products", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			ctx.Work(5 * time.Millisecond)
 			tx := platform.DB.Begin()
 			ids, err := tx.IndexLookup("products", "category", string(payload))
@@ -133,14 +134,14 @@ func main() {
 		}
 
 		// --- Simulated traffic ---
-		res, err := platform.Invoke("serve-static", []byte("index.html"))
+		res, err := shop.Invoke("serve-static", []byte("index.html"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("GET /index.html          → %s (cold=%v, %v)\n", res.Output, res.Cold, res.Latency.Round(time.Millisecond))
 
 		for _, cat := range []string{"art", "apparel"} {
-			res, err = platform.Invoke("list-products", []byte(cat))
+			res, err = shop.Invoke("list-products", []byte(cat))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -164,5 +165,5 @@ func main() {
 	})
 
 	fmt.Println()
-	fmt.Print(platform.Invoice("shop"))
+	fmt.Print(shop.Invoice())
 }

@@ -33,6 +33,7 @@ const (
 	ResVMHours        = "vm:reserved-hours"   // server-centric baseline
 	ResMsgPublish     = "pulsar:publish"      //
 	ResJiffyBlockSecs = "jiffy:block-seconds" // ephemeral memory blocks × time
+	ResShedRequests   = "faas:shed-requests"  // requests shed by tenant admission
 )
 
 // Pricing maps a resource name to its USD price per unit.
@@ -54,6 +55,7 @@ func DefaultPricing() Pricing {
 		ResVMHours:        0.096,        // m5.large on-demand per hour
 		ResMsgPublish:     0.05 / 1e6,   // per published message
 		ResJiffyBlockSecs: 0.0000035,    // per block-second of ephemeral memory
+		ResShedRequests:   0,            // free, but itemized on the invoice
 	}
 }
 

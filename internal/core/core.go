@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/billing"
 	"repro/internal/blob"
 	"repro/internal/coord"
@@ -125,6 +126,9 @@ type Platform struct {
 	Jiffy *jiffy.Controller
 	// Orchestrator composes functions into state machines (§4.2).
 	Orchestrator *orchestrate.Engine
+	// Autoscaler is the elastic control plane, set by EnableAutoscale
+	// (nil until then).
+	Autoscaler *autoscale.Controller
 }
 
 // New assembles a Platform.
@@ -165,14 +169,7 @@ func New(opts Options) *Platform {
 
 	// Attach instrumentation before any traffic. With DisableObs (nil reg)
 	// every subsystem gets nil instruments and stays no-op.
-	ledgers.SetObs(reg)
-	cluster.SetObs(reg)
-	jf.SetObs(reg)
-	fp.SetObs(reg)
-	blobStore.SetObs(reg)
-	queueSvc.SetObs(reg)
-	db.SetObs(reg)
-	engine.SetObs(reg)
+	obs.Wire(reg, ledgers, cluster, jf, fp, blobStore, queueSvc, db, engine)
 
 	return &Platform{
 		Clock:        clock,
@@ -191,19 +188,58 @@ func New(opts Options) *Platform {
 	}
 }
 
+// Compile-time proof that every platform subsystem satisfies the shared
+// instrumentation contract obs.Wire fans out over.
+var (
+	_ obs.Instrumentable = (*ledger.System)(nil)
+	_ obs.Instrumentable = (*pulsar.Cluster)(nil)
+	_ obs.Instrumentable = (*jiffy.Controller)(nil)
+	_ obs.Instrumentable = (*faas.Platform)(nil)
+	_ obs.Instrumentable = (*blob.Store)(nil)
+	_ obs.Instrumentable = (*queue.Service)(nil)
+	_ obs.Instrumentable = (*kvdb.DB)(nil)
+	_ obs.Instrumentable = (*orchestrate.Engine)(nil)
+	_ obs.Instrumentable = (*autoscale.Controller)(nil)
+)
+
 // Invoice prices a tenant's accumulated usage.
+//
+// Deprecated: use Tenant(name).Invoice(), which scopes billing access the
+// same way the rest of the tenant API is scoped.
 func (p *Platform) Invoice(tenant string) billing.Invoice {
 	return p.Meter.Invoice(tenant, p.Pricing)
 }
 
 // Register deploys a function (shorthand for FaaS.Register).
+//
+// Deprecated: use Tenant(tenant).Register(name, h, cfg). The stringly
+// two-name signature invites swapped arguments; the tenant handle carries
+// the tenant exactly once.
 func (p *Platform) Register(name, tenant string, h faas.Handler, cfg faas.Config) error {
 	return p.FaaS.Register(name, tenant, h, cfg)
 }
 
 // Invoke runs a function synchronously (shorthand for FaaS.Invoke).
+//
+// Deprecated: use Tenant(tenant).Invoke(name, payload), which also verifies
+// the function belongs to the invoking tenant.
 func (p *Platform) Invoke(name string, payload []byte) (faas.Result, error) {
 	return p.FaaS.Invoke(name, payload)
+}
+
+// EnableAutoscale builds, wires and starts the elastic control plane over
+// the platform's FaaS layer and whatever cluster is attached to it (attach
+// one first with FaaS.AttachCluster for machine-fleet elasticity). The
+// controller ticks on the platform clock until Stop. It is also stored on
+// Platform.Autoscaler for state endpoints and demos.
+func (p *Platform) EnableAutoscale(cfg autoscale.Config) *autoscale.Controller {
+	ctrl := autoscale.New(p.Clock, p.FaaS, p.FaaS.Cluster(), cfg)
+	if p.Obs != nil {
+		ctrl.SetObs(p.Obs)
+	}
+	p.Autoscaler = ctrl
+	ctrl.Start()
+	return ctrl
 }
 
 // NewVirtual builds a Platform on a fresh virtual clock and returns both.

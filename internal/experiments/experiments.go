@@ -95,6 +95,7 @@ func All() []Experiment {
 		{"E24", "isolation-tech", E24IsolationTech},
 		{"E25", "evolution-ladder", E25Evolution},
 		{"E26", "chaos-recovery", E26ChaosRecovery},
+		{"E27", "elastic-control-plane", E27Elastic},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps

@@ -41,8 +41,8 @@ func numPrefix(t *testing.T, s string) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 26 {
-		t.Fatalf("experiments = %d, want 26", len(all))
+	if len(all) != 27 {
+		t.Fatalf("experiments = %d, want 27", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -480,5 +480,32 @@ func TestE26NoAckedWriteLost(t *testing.T) {
 	}
 	if strings.Contains(tb.Notes, "ledger recoveries 0") || strings.Contains(tb.Notes, "pulsar takeovers 0") {
 		t.Fatalf("fault schedule exercised no recoveries: %s", tb.Notes)
+	}
+}
+
+func TestE27ElasticControlPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full burst simulations")
+	}
+	tb := E27Elastic()
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Every acceptance row must pass: convergence within the window, panic
+	// scale-up, fleet growth, scale-to-zero, drained machines, fairness.
+	for i := range tb.Rows {
+		if p := cell(t, tb, i, 3); p == "NO" {
+			t.Fatalf("criterion failed at row %q:\n%s", cell(t, tb, i, 0), tb)
+		}
+	}
+	// Burst p99 must actually exceed 2× steady — otherwise the convergence
+	// row proves nothing.
+	steady := parseDur(t, cell(t, tb, 0, 1))
+	burst := parseDur(t, cell(t, tb, 1, 1))
+	if burst < 2*steady {
+		t.Fatalf("burst p99 %v never rose above 2× steady %v — no cold-start pain to converge from\n%s", burst, steady, tb)
+	}
+	if !strings.Contains(tb.Notes, "identical rerun digest: true") {
+		t.Fatalf("burst run not deterministic: %s", tb.Notes)
 	}
 }

@@ -22,19 +22,28 @@ import (
 	"math/rand"
 
 	"repro/internal/billing"
+	"repro/internal/errs"
 	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/simclock"
 )
 
-// Errors returned by the platform.
+// Errors returned by the platform. Throttle, breaker and cold-start
+// sentinels wrap the platform-wide identities in internal/errs, so
+// errors.Is(err, core.ErrThrottled) matches regardless of which plane shed
+// the request.
 var (
 	ErrNoFunction  = errors.New("faas: function not registered")
 	ErrExists      = errors.New("faas: function already registered")
-	ErrThrottled   = errors.New("faas: concurrency limit reached")
+	ErrAmbiguous   = errors.New("faas: function name owned by several tenants; qualify as tenant/name")
+	ErrThrottled   = fmt.Errorf("faas: concurrency limit reached (%w)", errs.ErrThrottled)
 	ErrTimeout     = errors.New("faas: execution time limit exceeded")
 	ErrPayloadSize = errors.New("faas: payload too large")
-	ErrCircuitOpen = errors.New("faas: circuit breaker open")
+	ErrCircuitOpen = fmt.Errorf("faas: %w", errs.ErrBreakerOpen)
+	// ErrColdStartTimeout is returned when a cold invocation could not obtain
+	// cluster capacity within its ColdStartBudget (the autoscaler did not
+	// grow the fleet in time).
+	ErrColdStartTimeout = fmt.Errorf("faas: %w waiting for capacity", errs.ErrColdStartTimeout)
 )
 
 // Handler is the user function body. It may call Ctx.Work to model compute
@@ -85,6 +94,11 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects before letting a
 	// single half-open probe through. Default 30s when the breaker is armed.
 	BreakerCooldown time.Duration
+	// ColdStartBudget bounds how long a cold invocation may wait for
+	// cluster capacity (retrying placement while the autoscaler grows the
+	// fleet) before failing with ErrColdStartTimeout. Zero keeps the legacy
+	// behaviour: a failed placement throttles immediately.
+	ColdStartBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +202,7 @@ type ScalePoint struct {
 
 type function struct {
 	name     string
+	key      string // tenant-qualified registry key: "tenant/name"
 	tenant   string
 	handler  Handler
 	cfg      Config
@@ -199,6 +214,10 @@ type function struct {
 	mu          sync.Mutex
 	idle        []*instance // LIFO: most recently used first
 	running     int
+	warming     int  // instances provisioning toward the pool target
+	gone        bool // set by Unregister; in-flight provisions release
+	placeFails  int64
+	poolTarget  int // autoscaler-desired pool size (informational)
 	nextInst    int64
 	invocations int64
 	coldStarts  int64
@@ -221,8 +240,11 @@ type Platform struct {
 	clock simclock.Clock
 	meter *billing.Meter
 
-	mu        sync.RWMutex // guards functions, cluster, penalty
+	mu        sync.RWMutex // guards functions, cluster, penalty, adm
 	functions map[string]*function
+
+	// adm is the per-tenant admission state (nil = admission off).
+	adm *admission
 
 	nextReq atomic.Int64
 
@@ -247,6 +269,10 @@ type Platform struct {
 	obsBreakerFast *obs.Counter
 	obsBreakerOpen *obs.Counter
 	obsRetryWait   *obs.Histogram
+	obsAdmShed     *obs.Counter
+	obsAdmWait     *obs.Histogram
+	obsPrewarmed   *obs.Counter
+	obsPlaceFail   *obs.Counter
 }
 
 // New creates an empty Platform. meter may be nil to disable billing.
@@ -276,6 +302,10 @@ func (p *Platform) SetObs(r *obs.Registry) {
 	p.obsBreakerFast = r.Counter("faas.breaker.fastfail")
 	p.obsBreakerOpen = r.Counter("faas.breaker.opened")
 	p.obsRetryWait = r.Histogram("faas.retry.wait")
+	p.obsAdmShed = r.Counter("faas.admission.shed")
+	p.obsAdmWait = r.Histogram("faas.admission.wait")
+	p.obsPrewarmed = r.Counter("faas.pool.prewarmed")
+	p.obsPlaceFail = r.Counter("faas.pool.placefail")
 }
 
 // Clock returns the platform's clock (handlers and triggers share it).
@@ -301,19 +331,56 @@ func (p *Platform) Cluster() *scheduler.Cluster {
 	return p.cluster
 }
 
+// qualifiedKey is the registry key for a tenant's function. Function names
+// are a namespace per tenant: two tenants may each own a "resize".
+func qualifiedKey(tenant, name string) string { return tenant + "/" + name }
+
+// lookupLocked resolves a bare or tenant-qualified ("tenant/name") function
+// name under p.mu. A bare name resolves when exactly one tenant owns it —
+// the whole pre-tenant-handle API keeps working unchanged — and fails with
+// ErrAmbiguous once several tenants deploy the same name, at which point
+// callers must qualify (or go through a TenantHandle, which always does).
+func (p *Platform) lookupLocked(name string) (*function, error) {
+	if fn, ok := p.functions[name]; ok {
+		return fn, nil
+	}
+	var hit *function
+	for _, fn := range p.functions {
+		if fn.name == name {
+			if hit != nil {
+				return nil, fmt.Errorf("%w: %q", ErrAmbiguous, name)
+			}
+			hit = fn
+		}
+	}
+	if hit == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	}
+	return hit, nil
+}
+
+func (p *Platform) lookup(name string) (*function, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.lookupLocked(name)
+}
+
 // Register adds a function owned by tenant. With Prewarm > 0, the
-// provisioned instances are created (and placed) immediately.
+// provisioned instances are created (and placed) immediately. Names are
+// scoped per tenant: registration collides only with the same tenant's own
+// functions, never with (and without revealing) another tenant's.
 func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) error {
+	key := qualifiedKey(tenant, name)
 	p.mu.Lock()
-	if _, ok := p.functions[name]; ok {
+	if _, ok := p.functions[key]; ok {
 		p.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	fn := &function{name: name, tenant: tenant, handler: handler, cfg: cfg.withDefaults(), platform: p}
+	fn := &function{name: name, key: key, tenant: tenant, handler: handler, cfg: cfg.withDefaults(), platform: p}
 	if fn.cfg.BreakerThreshold > 0 {
 		fn.brkGauge = p.obsReg.Gauge("faas.breaker.state." + name)
 	}
-	p.functions[name] = fn
+	p.functions[key] = fn
 	p.mu.Unlock()
 
 	// Provisioned concurrency: instances exist before the first request.
@@ -334,9 +401,11 @@ func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) er
 	return nil
 }
 
-// instKey identifies an instance in the attached cluster.
-func instKey(fnName string, id int64) string {
-	return fmt.Sprintf("%s#%d", fnName, id)
+// instKey identifies an instance in the attached cluster. Keyed by the
+// tenant-qualified function key so two tenants' same-named functions never
+// collide on cluster slots.
+func instKey(fnKey string, id int64) string {
+	return fmt.Sprintf("%s#%d", fnKey, id)
 }
 
 // placeInstance claims cluster capacity for a new instance (no-op without a
@@ -349,7 +418,7 @@ func (p *Platform) placeInstance(fn *function, inst *instance) error {
 	if demand == (scheduler.Resources{}) {
 		demand = scheduler.Resources{CPU: 1000, MemMB: float64(fn.cfg.MemoryMB)}
 	}
-	_, err := p.cluster.PlaceTenant(instKey(fn.name, inst.id), fn.tenant, demand)
+	_, err := p.cluster.PlaceTenant(instKey(fn.key, inst.id), fn.tenant, demand)
 	return err
 }
 
@@ -357,7 +426,7 @@ func (p *Platform) placeInstance(fn *function, inst *instance) error {
 // cluster).
 func (p *Platform) releaseInstance(fn *function, inst *instance) {
 	if p.cluster != nil {
-		_ = p.cluster.Release(instKey(fn.name, inst.id))
+		_ = p.cluster.Release(instKey(fn.key, inst.id))
 	}
 }
 
@@ -366,23 +435,24 @@ func (p *Platform) slowdownFor(fn *function, inst *instance) float64 {
 	if p.cluster == nil || p.penalty <= 0 {
 		return 1
 	}
-	return 1 + p.penalty*float64(p.cluster.ContendersOf(instKey(fn.name, inst.id)))
+	return 1 + p.penalty*float64(p.cluster.ContendersOf(instKey(fn.key, inst.id)))
 }
 
 // Unregister removes a function, releasing its idle instances' cluster
 // capacity.
 func (p *Platform) Unregister(name string) error {
 	p.mu.Lock()
-	fn, ok := p.functions[name]
-	if !ok {
+	fn, err := p.lookupLocked(name)
+	if err != nil {
 		p.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrNoFunction, name)
+		return err
 	}
-	delete(p.functions, name)
+	delete(p.functions, fn.key)
 	p.mu.Unlock()
 
 	fn.mu.Lock()
 	defer fn.mu.Unlock()
+	fn.gone = true
 	for _, in := range fn.idle {
 		p.releaseInstance(fn, in)
 	}
@@ -407,17 +477,39 @@ func (p *Platform) Invoke(name string, payload []byte) (Result, error) {
 	return p.invoke(name, payload, 1)
 }
 
+// InvokeFor runs tenant's function name synchronously, resolving only within
+// that tenant's namespace: another tenant's function of the same name is
+// indistinguishable from an unregistered one.
+func (p *Platform) InvokeFor(tenant, name string, payload []byte) (Result, error) {
+	return p.invoke(qualifiedKey(tenant, name), payload, 1)
+}
+
+// InvokeAsyncFor is InvokeAsync resolved within tenant's namespace.
+func (p *Platform) InvokeAsyncFor(tenant, name string, payload []byte, done func(Result, error)) {
+	p.InvokeAsync(qualifiedKey(tenant, name), payload, done)
+}
+
 func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, error) {
 	p.mu.RLock()
-	fn, ok := p.functions[name]
+	fn, err := p.lookupLocked(name)
+	adm := p.adm
 	p.mu.RUnlock()
-	if !ok {
-		return Result{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	if err != nil {
+		return Result{}, err
 	}
 	reqID := p.nextReq.Add(1)
 
 	if len(payload) > fn.cfg.MaxPayload {
 		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
+	}
+
+	// Tenant admission: the fair-share token bucket gates (and may queue or
+	// shed) the request before any breaker or concurrency state is touched.
+	if err := p.admit(adm, fn.tenant); err != nil {
+		fn.mu.Lock()
+		fn.throttles++
+		fn.mu.Unlock()
+		return Result{RequestID: reqID, Attempt: attempt}, err
 	}
 
 	// Circuit-breaker gate: an open breaker sheds the request here, before
@@ -451,7 +543,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		inst = fn.idle[n-1]
 		fn.idle = fn.idle[:n-1]
 	} else {
-		if fn.running+len(fn.idle) >= fn.cfg.MaxConcurrency {
+		if fn.running+len(fn.idle)+fn.warming >= fn.cfg.MaxConcurrency {
 			fn.throttles++
 			fn.mu.Unlock()
 			p.obsThrottled.Inc()
@@ -471,7 +563,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	fn.mu.Unlock()
 
 	if cold {
-		if err := p.placeInstance(fn, inst); err != nil {
+		if err := p.placeWithBudget(fn, inst, start); err != nil {
 			// Roll back the reservation; the instance ID is not reused.
 			fn.mu.Lock()
 			fn.running--
@@ -483,6 +575,10 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			p.obsThrottled.Inc()
 			if gated {
 				p.recordBreaker(fn, outcomeAborted, probe)
+			}
+			if fn.cfg.ColdStartBudget > 0 {
+				return Result{}, fmt.Errorf("%w: %q after %v: %v",
+					ErrColdStartTimeout, name, fn.cfg.ColdStartBudget, err)
 			}
 			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
 		}
@@ -586,11 +682,9 @@ const asyncJitter = 0.2
 // how long the retries backed off in total.
 func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, error)) {
 	p.clock.Go(func() {
-		p.mu.RLock()
-		fn, ok := p.functions[name]
-		p.mu.RUnlock()
+		fn, lookupErr := p.lookup(name)
 		retries := 0
-		if ok {
+		if lookupErr == nil {
 			retries = fn.cfg.MaxRetries
 		}
 		var res Result
@@ -608,6 +702,13 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 			res.Attempt = attempt
 			res.RetryWait = waited
 			if err == nil {
+				break
+			}
+			// A tenant-level shed is an explicit back-pressure signal:
+			// retrying it from inside the platform would amplify exactly
+			// the overload admission is shedding (a retry storm). Surface
+			// it to the caller instead.
+			if errors.Is(err, ErrTenantThrottled) {
 				break
 			}
 		}
@@ -660,6 +761,7 @@ type Stats struct {
 	Failures    int64
 	WarmIdle    int
 	Running     int
+	Warming     int
 	Durations   []time.Duration
 	Timeline    []ScalePoint
 }
@@ -667,11 +769,9 @@ type Stats struct {
 // Stats returns a snapshot for a function, with the warm pool reaped as of
 // now (so WarmIdle reflects scale-to-zero).
 func (p *Platform) Stats(name string) (Stats, error) {
-	p.mu.RLock()
-	fn, ok := p.functions[name]
-	p.mu.RUnlock()
-	if !ok {
-		return Stats{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	fn, err := p.lookup(name)
+	if err != nil {
+		return Stats{}, err
 	}
 	fn.mu.Lock()
 	defer fn.mu.Unlock()
@@ -684,19 +784,28 @@ func (p *Platform) Stats(name string) (Stats, error) {
 		Failures:    fn.failures,
 		WarmIdle:    len(fn.idle),
 		Running:     fn.running,
+		Warming:     fn.warming,
 		Durations:   append([]time.Duration{}, fn.durations...),
 		Timeline:    append([]ScalePoint{}, fn.timeline...),
 	}, nil
 }
 
-// Percentile returns the q-th percentile (0..100) of ds. It returns 0 for an
-// empty slice.
-func Percentile(ds []time.Duration, q float64) time.Duration {
+// PercentileOK returns the q-th percentile (0..100) of ds, with ok=false
+// when the window is empty — an empty window has no percentile, and callers
+// that render one must say so rather than print a silent 0.
+func PercentileOK(ds []time.Duration, q float64) (time.Duration, bool) {
 	if len(ds) == 0 {
-		return 0
+		return 0, false
 	}
 	s := append([]time.Duration{}, ds...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	idx := int(q / 100 * float64(len(s)-1))
-	return s[idx]
+	return s[idx], true
+}
+
+// Percentile returns the q-th percentile (0..100) of ds. It returns 0 for an
+// empty slice; use PercentileOK to distinguish that from a real 0.
+func Percentile(ds []time.Duration, q float64) time.Duration {
+	v, _ := PercentileOK(ds, q)
+	return v
 }

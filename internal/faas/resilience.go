@@ -243,11 +243,9 @@ func retryable(err error) bool {
 // BreakerState reports a function's current breaker position ("closed",
 // "open", "half-open"); functions without an armed breaker are "closed".
 func (p *Platform) BreakerState(name string) (string, error) {
-	p.mu.RLock()
-	fn, ok := p.functions[name]
-	p.mu.RUnlock()
-	if !ok {
-		return "", ErrNoFunction
+	fn, err := p.lookup(name)
+	if err != nil {
+		return "", err
 	}
 	fn.brk.mu.Lock()
 	defer fn.brk.mu.Unlock()

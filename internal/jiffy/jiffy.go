@@ -38,15 +38,23 @@ import (
 	"time"
 
 	"repro/internal/billing"
+	"repro/internal/errs"
 	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
-// Errors returned by the store.
+// Errors returned by the store. ErrNoCapacity and ErrLeaseExpired wrap the
+// platform-wide identities in internal/errs so errors.Is matches across
+// planes; ErrLeaseExpired additionally wraps ErrNoNamespace, preserving the
+// historical contract that every op on a reclaimed namespace matches
+// ErrNoNamespace.
 var (
 	ErrNoNamespace = errors.New("jiffy: namespace does not exist")
 	ErrNsExists    = errors.New("jiffy: namespace already exists")
-	ErrNoCapacity  = errors.New("jiffy: shared memory pool exhausted")
+	ErrNoCapacity  = fmt.Errorf("jiffy: shared memory pool exhausted (%w)", errs.ErrNoCapacity)
+	// ErrLeaseExpired marks an op rejected because the namespace's lease
+	// lapsed and its state was (or is being) reclaimed.
+	ErrLeaseExpired = fmt.Errorf("jiffy: namespace %w: %w", errs.ErrLeaseExpired, ErrNoNamespace)
 	ErrNoKey       = errors.New("jiffy: key not found")
 	ErrEmptyQueue  = errors.New("jiffy: queue is empty")
 	ErrBadPath     = errors.New("jiffy: malformed namespace path")

@@ -34,6 +34,9 @@ func (ns *Namespace) Renew() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.all[ns.path] != ns {
+		if now.UnixNano() > ns.deadline.Load() {
+			return fmt.Errorf("%w: %q", ErrLeaseExpired, ns.path)
+		}
 		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
 	}
 	if ns.lease > 0 {
@@ -89,11 +92,16 @@ func (ns *Namespace) lockLive(now time.Time) error {
 	c := ns.ctrl
 	c.maybeReap(now)
 	if now.UnixNano() > ns.deadline.Load() {
-		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
+		return fmt.Errorf("%w: %q", ErrLeaseExpired, ns.path)
 	}
 	ns.mu.Lock()
 	if ns.dead {
 		ns.mu.Unlock()
+		// A dead namespace whose deadline lapsed was reclaimed by lease
+		// expiry; one with a live deadline was removed explicitly.
+		if now.UnixNano() > ns.deadline.Load() {
+			return fmt.Errorf("%w: %q", ErrLeaseExpired, ns.path)
+		}
 		return fmt.Errorf("%w: %q", ErrNoNamespace, ns.path)
 	}
 	return nil

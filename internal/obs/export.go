@@ -110,6 +110,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			// An empty window has no percentiles; say so instead of
+			// rendering a row of misleading zeros.
+			if _, err := fmt.Fprintf(w, "%-40s n=0          (no samples)\n", h.Name); err != nil {
+				return err
+			}
+			continue
+		}
 		if h.Unit == "count" {
 			if _, err := fmt.Fprintf(w, "%-40s n=%-8d mean=%-12d p50=%-12d p95=%-12d p99=%-12d max=%d\n",
 				h.Name, h.Count, int64(h.Mean), int64(h.P50), int64(h.P95), int64(h.P99), int64(h.Max)); err != nil {

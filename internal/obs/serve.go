@@ -14,7 +14,9 @@ import (
 //
 // It is safe to call on a nil registry (every route serves empty data), so a
 // server can be wired up before deciding whether observability is on.
-func (r *Registry) Handler() http.Handler {
+// Callers can mount additional routes (e.g. an autoscaler state endpoint)
+// by passing Routes.
+func (r *Registry) Handler(extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -38,10 +40,19 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.HandleFunc(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
+// Route is an extra endpoint mounted next to the registry's built-in ones.
+type Route struct {
+	Pattern string
+	Handler http.HandlerFunc
+}
+
 // Serve blocks serving the registry's Handler on addr (e.g. ":9090").
-func (r *Registry) Serve(addr string) error {
-	return http.ListenAndServe(addr, r.Handler())
+func (r *Registry) Serve(addr string, extra ...Route) error {
+	return http.ListenAndServe(addr, r.Handler(extra...))
 }

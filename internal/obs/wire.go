@@ -1,0 +1,22 @@
+package obs
+
+// Instrumentable is the contract every instrumented subsystem satisfies: a
+// SetObs that resolves the subsystem's counters, gauges and histograms from
+// a Registry. Passing a nil Registry must leave the subsystem with nil
+// (no-op) instruments — the package's instruments are all nil-safe, so that
+// is the natural implementation.
+type Instrumentable interface {
+	SetObs(*Registry)
+}
+
+// Wire attaches one registry to every subsystem in a single call, replacing
+// the per-subsystem SetObs litany at platform assembly. With a nil registry
+// it wires everything for uninstrumented (no-op) operation, which is the
+// DisableObs path.
+func Wire(r *Registry, subs ...Instrumentable) {
+	for _, s := range subs {
+		if s != nil {
+			s.SetObs(r)
+		}
+	}
+}

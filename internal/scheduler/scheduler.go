@@ -12,15 +12,17 @@
 package scheduler
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/errs"
 )
 
-// ErrUnplaceable is returned when no machine can fit a demand even when empty.
-var ErrUnplaceable = errors.New("scheduler: demand exceeds machine capacity")
+// ErrUnplaceable is returned when no machine can fit a demand even when
+// empty. It wraps the platform-wide errs.ErrNoCapacity identity.
+var ErrUnplaceable = fmt.Errorf("scheduler: demand exceeds machine capacity (%w)", errs.ErrNoCapacity)
 
 // Resources is a demand or capacity vector. Units are abstract (millicores,
 // MB, accelerator slots); only ratios matter to the policies.
@@ -79,6 +81,10 @@ type Machine struct {
 	ID       int
 	Capacity Resources
 	Used     Resources
+	// retired marks a machine drained out of the fleet by the autoscaler:
+	// policies never place on it, and Grow revives retired machines before
+	// provisioning new ones. Only empty machines can retire.
+	retired bool
 	// byDominant counts resident instances by dominant resource, used by
 	// the contention model.
 	byDominant map[string]int
@@ -143,11 +149,21 @@ func NewCluster(perMachine Resources, policy Policy) *Cluster {
 	return &Cluster{template: perMachine, policy: policy, placed: map[string]int{}, tenantOf: map[string]string{}}
 }
 
-// Grow pre-provisions n empty machines (a provider fleet that exists before
-// any placement, letting spreading policies actually spread).
+// Grow adds n machines to the placeable fleet: retired machines are revived
+// first (a drained host returning to service is cheaper than provisioning),
+// then new empty machines are appended.
 func (c *Cluster) Grow(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, m := range c.machines {
+		if n == 0 {
+			return
+		}
+		if m.retired {
+			m.retired = false
+			n--
+		}
+	}
 	for i := 0; i < n; i++ {
 		c.machines = append(c.machines, &Machine{
 			ID:         len(c.machines),
@@ -157,6 +173,93 @@ func (c *Cluster) Grow(n int) {
 			instances:  map[string]Resources{},
 		})
 	}
+}
+
+// DrainEmpty retires up to max empty machines (highest IDs first, so the
+// fleet shrinks from its most recent growth), removing them from placement
+// until Grow revives them. It returns how many machines were retired.
+func (c *Cluster) DrainEmpty(max int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drained := 0
+	for i := len(c.machines) - 1; i >= 0 && drained < max; i-- {
+		m := c.machines[i]
+		if !m.retired && len(m.instances) == 0 {
+			m.retired = true
+			drained++
+		}
+	}
+	return drained
+}
+
+// eligibleLocked returns the placeable (non-retired) machines. c.mu held.
+func (c *Cluster) eligibleLocked() []*Machine {
+	out := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		if !m.retired {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MachineCount returns the placeable (non-retired) machine count.
+func (c *Cluster) MachineCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.eligibleLocked())
+}
+
+// RetiredMachines returns how many machines are currently drained out.
+func (c *Cluster) RetiredMachines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.machines {
+		if m.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeSlots returns how many instances of demand the placeable fleet's
+// current free capacity can absorb — the autoscaler's headroom signal.
+func (c *Cluster) FreeSlots(demand Resources) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, m := range c.machines {
+		if m.retired {
+			continue
+		}
+		total += slotsIn(m.Free(), demand)
+	}
+	return total
+}
+
+// SlotsPerMachine returns how many instances of demand one empty machine
+// holds (0 when the demand does not fit at all).
+func (c *Cluster) SlotsPerMachine(demand Resources) int {
+	return slotsIn(c.template, demand)
+}
+
+func slotsIn(free, demand Resources) int {
+	n := math.MaxInt
+	dim := func(f, d float64) {
+		if d > 0 {
+			if k := int(f / d); k < n {
+				n = k
+			}
+		}
+	}
+	dim(free.CPU, demand.CPU)
+	dim(free.MemMB, demand.MemMB)
+	dim(free.Accel, demand.Accel)
+	if n == math.MaxInt || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Place assigns an instance's demand to a machine, growing the cluster if
@@ -172,7 +275,7 @@ func (c *Cluster) PlaceTenant(instanceID, tenant string, demand Resources) (Plac
 	if !c.template.Fits(demand) {
 		return Placement{}, fmt.Errorf("%w: %+v > %+v", ErrUnplaceable, demand, c.template)
 	}
-	idx := c.policy.Choose(c.machines, demand, tenant)
+	idx := c.policy.Choose(c.eligibleLocked(), demand, tenant)
 	if idx < 0 {
 		m := &Machine{
 			ID:         len(c.machines),

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRamp(t *testing.T) {
+	rf := Ramp(0, 100, 10*time.Second)
+	if got := rf(0); got != 0 {
+		t.Fatalf("ramp(0) = %v", got)
+	}
+	if got := rf(5 * time.Second); got != 50 {
+		t.Fatalf("ramp(mid) = %v, want 50", got)
+	}
+	if got := rf(10 * time.Second); got != 100 {
+		t.Fatalf("ramp(end) = %v, want 100", got)
+	}
+	if got := rf(time.Minute); got != 100 {
+		t.Fatalf("ramp holds %v, want 100", got)
+	}
+	if got := Ramp(5, 50, 0)(0); got != 50 {
+		t.Fatalf("zero-duration ramp = %v, want step to 50", got)
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	rf := Burst(2, 10, 30*time.Second, 10*time.Second)
+	if got := rf(0); got != 2 {
+		t.Fatalf("pre-burst = %v, want 2", got)
+	}
+	if got := rf(35 * time.Second); got != 20 {
+		t.Fatalf("mid-burst = %v, want 20", got)
+	}
+	if got := rf(45 * time.Second); got != 2 {
+		t.Fatalf("post-burst = %v, want 2", got)
+	}
+	// §3.2's signature: peak is several times the mean.
+	if ptm := PeakToMean(rf, time.Minute); ptm < 3 {
+		t.Fatalf("peak-to-mean = %v, want ≥ 3", ptm)
+	}
+}
+
+func TestStaircaseRamp(t *testing.T) {
+	rf := StaircaseRamp(100, 4, 10*time.Second)
+	want := []struct {
+		at   time.Duration
+		rate float64
+	}{
+		{0, 25}, {9 * time.Second, 25}, {10 * time.Second, 50},
+		{25 * time.Second, 75}, {39 * time.Second, 100}, {time.Hour, 100},
+	}
+	for _, w := range want {
+		if got := rf(w.at); got != w.rate {
+			t.Errorf("staircase(%v) = %v, want %v", w.at, got, w.rate)
+		}
+	}
+}
+
+func TestOffsetArrivals(t *testing.T) {
+	in := []time.Duration{0, time.Second, 2 * time.Second}
+	out := OffsetArrivals(in, 500*time.Microsecond)
+	if len(out) != 3 || out[0] != 500*time.Microsecond || out[2] != 2*time.Second+500*time.Microsecond {
+		t.Fatalf("out = %v", out)
+	}
+	if got := OffsetArrivals(in, -2*time.Second); len(got) != 1 {
+		t.Fatalf("negative offset kept %v", got)
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	steady := 10 * time.Millisecond
+	series := []time.Duration{
+		10 * time.Millisecond, // 0s: steady
+		80 * time.Millisecond, // 1s: burst
+		60 * time.Millisecond, // 2s
+		25 * time.Millisecond, // 3s: still >2×
+		15 * time.Millisecond, // 4s: converged
+		11 * time.Millisecond, // 5s
+	}
+	if got := ConvergenceTime(series, steady, 2, time.Second); got != 3*time.Second {
+		t.Fatalf("convergence = %v, want 3s", got)
+	}
+	// Never converges.
+	if got := ConvergenceTime([]time.Duration{time.Second, time.Second}, steady, 2, 0); got != -1 {
+		t.Fatalf("non-convergent = %v, want -1", got)
+	}
+	// Already converged at burst end.
+	if got := ConvergenceTime(series, steady, 10, time.Second); got != 0 {
+		t.Fatalf("instant convergence = %v, want 0", got)
+	}
+}
+
+func TestTotalArrivals(t *testing.T) {
+	if got := TotalArrivals(Constant(5), 10*time.Second); got != 50 {
+		t.Fatalf("total = %d, want 50", got)
+	}
+	rf := Burst(2, 10, 10*time.Second, 5*time.Second)
+	// 2 rps × 55s + 20 rps × 5s = 110 + 100 = 210.
+	if got := TotalArrivals(rf, time.Minute); got != 210 {
+		t.Fatalf("burst total = %d, want 210", got)
+	}
+}

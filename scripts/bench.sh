@@ -16,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
-pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry}"
+pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry|BenchmarkAdmission|BenchmarkAutoscaleTick}"
 benchtime="${BENCH_TIME:-1s}"
 
 go_version="$(go env GOVERSION)"

@@ -35,6 +35,7 @@ SHAPES = {
     "E25": "Down the ladder — bare metal, VMs, containers, FaaS — provisioning time falls from weeks to milliseconds and the billing granule from a month to 100ms; monthly cost and the paid/used ratio fall monotonically, with serverless paying almost exactly for use.",
     "E22": "On-demand sporadic traffic pays a cold start on every request; provisioned concurrency eliminates cold starts entirely while holding standing instances.",
     "E26": "Every acked write survives the seeded fault schedule — ledger entries re-read exactly, Jiffy KV and FIFO state intact after node loss, no acked publish undelivered across broker takeover — and two runs with the same seed produce byte-identical digests (the chaos plane is deterministic).",
+    "E27": "Under a 10× open-loop burst the panic window scales the pool up so p99 returns to ≤2× the warm steady-state baseline while the burst is still running; after idle, scale-to-zero reclaims every instance and the drain loop every machine. Weighted fair-share admission sheds the flooding tenant (shed > 0) while the well-behaved tenant's p99 stays within 1.5× of running alone — and two runs with the same seed produce byte-identical digests.",
 }
 
 HEADER = """# EXPERIMENTS — paper claims vs. measured results
