@@ -67,11 +67,21 @@ type Record struct {
 	At       time.Time
 }
 
-// Meter accumulates usage records, thread-safely.
+// recordWindow is how many itemized usage records a Meter retains (the
+// most recent ones; totals are always exact and unbounded). A fixed ring —
+// lazily allocated, never grown — keeps the metering call on the invoke and
+// publish hot paths allocation-free and bounds Meter memory on long soaks.
+const recordWindow = 1 << 14
+
+// Meter accumulates usage records, thread-safely. Per-tenant totals are
+// exact over the Meter's whole lifetime; the itemized record log is a
+// sliding window of the most recent recordWindow entries.
 type Meter struct {
-	mu      sync.Mutex
-	records []Record
-	totals  map[string]map[string]float64 // tenant → resource → units
+	mu       sync.Mutex
+	recBuf   []Record // fixed-capacity ring, lazily allocated
+	recNext  int
+	recCount int
+	totals   map[string]map[string]float64 // tenant → resource → units
 }
 
 // NewMeter returns an empty Meter.
@@ -86,7 +96,14 @@ func (m *Meter) Add(r Record) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.records = append(m.records, r)
+	if m.recBuf == nil {
+		m.recBuf = make([]Record, recordWindow)
+	}
+	m.recBuf[m.recNext] = r
+	m.recNext = (m.recNext + 1) % len(m.recBuf)
+	if m.recCount < len(m.recBuf) {
+		m.recCount++
+	}
 	t := m.totals[r.Tenant]
 	if t == nil {
 		t = map[string]float64{}
@@ -138,18 +155,27 @@ func (m *Meter) Tenants() []string {
 	return out
 }
 
-// Records returns a copy of all usage records, in insertion order.
+// Records returns a copy of the retained usage records (the most recent
+// recordWindow), in insertion order.
 func (m *Meter) Records() []Record {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]Record(nil), m.records...)
+	out := make([]Record, 0, m.recCount)
+	start := m.recNext - m.recCount
+	if start < 0 {
+		start += len(m.recBuf)
+	}
+	for i := 0; i < m.recCount; i++ {
+		out = append(out, m.recBuf[(start+i)%len(m.recBuf)])
+	}
+	return out
 }
 
 // Reset clears all accumulated usage.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.records = nil
+	m.recBuf, m.recNext, m.recCount = nil, 0, 0
 	m.totals = map[string]map[string]float64{}
 }
 

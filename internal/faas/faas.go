@@ -48,7 +48,9 @@ var (
 
 // Handler is the user function body. It may call Ctx.Work to model compute
 // and may use any platform service captured in its closure; its returned
-// bytes are the invocation result.
+// bytes are the invocation result. The *Ctx is drawn from a platform-wide
+// pool and is recycled when the handler returns: handlers must not retain it
+// past return (copy the fields they need instead).
 type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
 
 // Config parameterizes one registered function.
@@ -224,8 +226,47 @@ type function struct {
 	throttles   int64
 	timeouts    int64
 	failures    int64
-	durations   []time.Duration // end-to-end invoke latencies
-	timeline    []ScalePoint
+	// durations is a fixed-capacity ring of the most recent end-to-end
+	// invoke latencies (lazily allocated, durationWindow entries). A ring
+	// instead of an unbounded append keeps the steady-state invoke path
+	// allocation-free and bounds per-function memory on long soaks.
+	durBuf   []time.Duration
+	durNext  int // next write position
+	durCount int // number of valid entries (≤ len(durBuf))
+	timeline []ScalePoint
+}
+
+// durationWindow is the per-function latency-window size. Every existing
+// workload (experiments, demos, soaks) invokes any single function far fewer
+// times than this, so percentiles over the window equal percentiles over the
+// full history for them; only unbounded growth is cut off.
+const durationWindow = 1 << 15
+
+// recordDurationLocked appends a latency sample to the ring. Called with
+// fn.mu held.
+func (fn *function) recordDurationLocked(d time.Duration) {
+	if fn.durBuf == nil {
+		fn.durBuf = make([]time.Duration, durationWindow)
+	}
+	fn.durBuf[fn.durNext] = d
+	fn.durNext = (fn.durNext + 1) % len(fn.durBuf)
+	if fn.durCount < len(fn.durBuf) {
+		fn.durCount++
+	}
+}
+
+// durationsLocked reconstructs the window oldest-first. Called with fn.mu
+// held.
+func (fn *function) durationsLocked() []time.Duration {
+	out := make([]time.Duration, 0, fn.durCount)
+	start := fn.durNext - fn.durCount
+	if start < 0 {
+		start += len(fn.durBuf)
+	}
+	for i := 0; i < fn.durCount; i++ {
+		out = append(out, fn.durBuf[(start+i)%len(fn.durBuf)])
+	}
+	return out
 }
 
 // Platform is the FaaS control plane plus data plane.
@@ -240,8 +281,13 @@ type Platform struct {
 	clock simclock.Clock
 	meter *billing.Meter
 
-	mu        sync.RWMutex // guards functions, cluster, penalty, adm
+	mu        sync.RWMutex // guards functions, bare, cluster, penalty, adm
 	functions map[string]*function
+	// bare indexes functions by unqualified name, maintained at
+	// Register/Unregister time so bare-name lookup on the invoke hot path is
+	// one map probe instead of a registry scan. A nil value marks a name
+	// owned by several tenants (ErrAmbiguous).
+	bare map[string]*function
 
 	// adm is the per-tenant admission state (nil = admission off).
 	adm *admission
@@ -281,6 +327,7 @@ func New(clock simclock.Clock, meter *billing.Meter) *Platform {
 		clock:     clock,
 		meter:     meter,
 		functions: map[string]*function{},
+		bare:      map[string]*function{},
 		rng:       rand.New(rand.NewSource(0x7a05)),
 	}
 }
@@ -340,23 +387,43 @@ func qualifiedKey(tenant, name string) string { return tenant + "/" + name }
 // the whole pre-tenant-handle API keeps working unchanged — and fails with
 // ErrAmbiguous once several tenants deploy the same name, at which point
 // callers must qualify (or go through a TenantHandle, which always does).
+// Both forms are a single map probe: the bare index is maintained at
+// registration time, so the invoke hot path never scans the registry.
 func (p *Platform) lookupLocked(name string) (*function, error) {
 	if fn, ok := p.functions[name]; ok {
 		return fn, nil
 	}
+	if fn, ok := p.bare[name]; ok {
+		if fn == nil {
+			return nil, fmt.Errorf("%w: %q", ErrAmbiguous, name)
+		}
+		return fn, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoFunction, name)
+}
+
+// rebuildBareLocked recomputes the bare-name index entry for name after a
+// registration change. Called with p.mu held for writing; O(registry), but
+// only on Unregister — never on the invoke path.
+func (p *Platform) rebuildBareLocked(name string) {
 	var hit *function
+	ambiguous := false
 	for _, fn := range p.functions {
 		if fn.name == name {
 			if hit != nil {
-				return nil, fmt.Errorf("%w: %q", ErrAmbiguous, name)
+				ambiguous = true
 			}
 			hit = fn
 		}
 	}
-	if hit == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	switch {
+	case ambiguous:
+		p.bare[name] = nil
+	case hit != nil:
+		p.bare[name] = hit
+	default:
+		delete(p.bare, name)
 	}
-	return hit, nil
 }
 
 func (p *Platform) lookup(name string) (*function, error) {
@@ -381,6 +448,11 @@ func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) er
 		fn.brkGauge = p.obsReg.Gauge("faas.breaker.state." + name)
 	}
 	p.functions[key] = fn
+	if _, taken := p.bare[name]; taken {
+		p.bare[name] = nil // second tenant deployed the name: now ambiguous
+	} else {
+		p.bare[name] = fn
+	}
 	p.mu.Unlock()
 
 	// Provisioned concurrency: instances exist before the first request.
@@ -448,6 +520,7 @@ func (p *Platform) Unregister(name string) error {
 		return err
 	}
 	delete(p.functions, fn.key)
+	p.rebuildBareLocked(fn.name)
 	p.mu.Unlock()
 
 	fn.mu.Lock()
@@ -595,8 +668,12 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	execStart := p.clock.Now()
 	p.obsQueueWait.Observe(execStart.Sub(start))
 
-	// Execute with the time-limit budget.
-	ctx := &Ctx{
+	// Execute with the time-limit budget. The invocation record comes from
+	// the request pool; it is recycled (zeroed) as soon as the handler's
+	// outcome has been read out, which is why handlers must not retain *Ctx.
+	req := getRequest()
+	ctx := &req.ctx
+	*ctx = Ctx{
 		Clock:        p.clock,
 		FunctionName: name,
 		Tenant:       fn.tenant,
@@ -607,7 +684,10 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		slowdown:     p.slowdownFor(fn, inst),
 	}
 	out, err := fn.handler(ctx, payload)
-	if ctx.exceeded {
+	timedOut := ctx.exceeded
+	execDur := ctx.worked
+	putRequest(req)
+	if timedOut {
 		err = fmt.Errorf("%w: %q after %v", ErrTimeout, name, fn.cfg.Timeout)
 		out = nil
 	}
@@ -615,7 +695,6 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	end := p.clock.Now()
 	p.obsHandlerLat.Observe(end.Sub(execStart))
 	p.obsInvokeLat.Observe(end.Sub(start))
-	execDur := ctx.worked
 	if execDur == 0 {
 		// Handlers that do no modelled work still bill a minimum granule.
 		execDur = time.Millisecond
@@ -635,7 +714,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	} else {
 		p.releaseInstance(fn, inst)
 	}
-	fn.durations = append(fn.durations, end.Sub(start))
+	fn.recordDurationLocked(end.Sub(start))
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
 			fn.timeouts++
@@ -721,8 +800,22 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 
 // reapLocked retires idle instances whose keep-alive lapsed, never dropping
 // the idle pool below the provisioned (Prewarm) floor. Called with fn.mu
-// held.
+// held — on every acquire and release, so the steady-state scan (nothing
+// expired) must not allocate; only an actual reap event builds slices.
 func (fn *function) reapLocked(now time.Time) {
+	if len(fn.idle) == 0 {
+		return
+	}
+	anyExpired := false
+	for _, in := range fn.idle {
+		if !(fn.cfg.KeepAlive > 0 && now.Sub(in.idleSince) < fn.cfg.KeepAlive) {
+			anyExpired = true
+			break
+		}
+	}
+	if !anyExpired {
+		return
+	}
 	var kept, expired []*instance
 	for _, in := range fn.idle {
 		if fn.cfg.KeepAlive > 0 && now.Sub(in.idleSince) < fn.cfg.KeepAlive {
@@ -748,8 +841,18 @@ func (fn *function) reapLocked(now time.Time) {
 	}
 }
 
+// recordLocked samples the instance footprint for the scaling timeline,
+// deduplicating by value: a warm acquire/release moves an instance between
+// idle and running without changing the footprint, so steady-state traffic
+// appends nothing. Consumers (experiment E2) reconstruct a step function
+// from the timeline — "last point not after t" — which dedup preserves
+// exactly.
 func (fn *function) recordLocked(at time.Time) {
-	fn.timeline = append(fn.timeline, ScalePoint{At: at, Instances: fn.running + len(fn.idle)})
+	n := fn.running + len(fn.idle)
+	if k := len(fn.timeline); k > 0 && fn.timeline[k-1].Instances == n {
+		return
+	}
+	fn.timeline = append(fn.timeline, ScalePoint{At: at, Instances: n})
 }
 
 // Stats is a snapshot of one function's counters.
@@ -762,8 +865,10 @@ type Stats struct {
 	WarmIdle    int
 	Running     int
 	Warming     int
-	Durations   []time.Duration
-	Timeline    []ScalePoint
+	// Durations holds the most recent durationWindow end-to-end invoke
+	// latencies, oldest first.
+	Durations []time.Duration
+	Timeline  []ScalePoint
 }
 
 // Stats returns a snapshot for a function, with the warm pool reaped as of
@@ -785,7 +890,7 @@ func (p *Platform) Stats(name string) (Stats, error) {
 		WarmIdle:    len(fn.idle),
 		Running:     fn.running,
 		Warming:     fn.warming,
-		Durations:   append([]time.Duration{}, fn.durations...),
+		Durations:   fn.durationsLocked(),
 		Timeline:    append([]ScalePoint{}, fn.timeline...),
 	}, nil
 }

@@ -1,0 +1,28 @@
+package faas
+
+import "sync"
+
+// request is the pooled per-invocation record: the handler context (which
+// carries the request identity, attempt number, time budget and interference
+// state) lives inside it, so a warm invoke draws one record from the pool
+// instead of allocating. The record is owned by exactly one invocation from
+// getRequest to putRequest; handlers receive a *Ctx pointing into it and must
+// not retain that pointer past return (documented on Handler).
+type request struct {
+	ctx Ctx
+}
+
+// reqPool recycles invocation records across requests and tenants. Records
+// are zeroed on Put (see putRequest), never on Get, so a bug that skips the
+// reset is caught by the hygiene tests rather than masked.
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+func getRequest() *request { return reqPool.Get().(*request) }
+
+// putRequest returns a record to the pool. Every field is zeroed first so no
+// state — tenant, request ID, budget, slowdown — can leak into whichever
+// invocation (of whichever tenant) draws the record next.
+func putRequest(r *request) {
+	r.ctx = Ctx{}
+	reqPool.Put(r)
+}

@@ -42,9 +42,17 @@ var (
 	ErrDropped      = errors.New("ledger: replication write dropped")
 )
 
-type entryKey struct {
-	ledger int64
-	entry  int64
+// ledgerStore is one ledger's entries on one bookie. Entry IDs are dense
+// and ascending, so a slice indexed by entry ID replaces the old flat
+// (ledger, entry)-keyed map: an append is a bounds check plus an amortized
+// slice grow instead of a hash insert whose rehashes scale with the
+// bookie's total entry count. Striped writes leave nil holes for the
+// entries other quorum members hold.
+type ledgerStore struct {
+	entries [][]byte // indexed by entry ID; nil = not stored here
+	count   int      // non-nil entries
+	last    int64    // highest entry id seen (-1 if none)
+	fenced  bool
 }
 
 // Bookie is one storage node.
@@ -59,9 +67,7 @@ type Bookie struct {
 	ID string
 
 	mu      sync.Mutex
-	entries map[entryKey][]byte
-	fenced  map[int64]bool
-	last    map[int64]int64 // highest entry id seen per ledger
+	ledgers map[int64]*ledgerStore
 	down    bool
 
 	slow     int64 // atomic: injected straggler latency (ns) per request
@@ -70,7 +76,18 @@ type Bookie struct {
 
 // NewBookie creates an empty bookie.
 func NewBookie(id string) *Bookie {
-	return &Bookie{ID: id, entries: map[entryKey][]byte{}, fenced: map[int64]bool{}, last: map[int64]int64{}}
+	return &Bookie{ID: id, ledgers: map[int64]*ledgerStore{}}
+}
+
+// ledgerLocked returns (creating if needed) a ledger's store. Called with
+// b.mu held.
+func (b *Bookie) ledgerLocked(ledgerID int64) *ledgerStore {
+	ls := b.ledgers[ledgerID]
+	if ls == nil {
+		ls = &ledgerStore{last: -1}
+		b.ledgers[ledgerID] = ls
+	}
+	return ls
 }
 
 // SetDown injects or clears a crash: a down bookie rejects every request but
@@ -114,12 +131,19 @@ func (b *Bookie) addEntry(ledgerID, entryID int64, data []byte) error {
 		b.dropNext--
 		return fmt.Errorf("%w: %s", ErrDropped, b.ID)
 	}
-	if b.fenced[ledgerID] {
+	ls := b.ledgerLocked(ledgerID)
+	if ls.fenced {
 		return fmt.Errorf("%w: ledger %d on %s", ErrFenced, ledgerID, b.ID)
 	}
-	b.entries[entryKey{ledgerID, entryID}] = data // shared, immutable (see type doc)
-	if cur, ok := b.last[ledgerID]; !ok || entryID > cur {
-		b.last[ledgerID] = entryID
+	for int64(len(ls.entries)) <= entryID {
+		ls.entries = append(ls.entries, nil)
+	}
+	if ls.entries[entryID] == nil {
+		ls.count++
+	}
+	ls.entries[entryID] = data // shared, immutable (see type doc)
+	if entryID > ls.last {
+		ls.last = entryID
 	}
 	return nil
 }
@@ -130,11 +154,11 @@ func (b *Bookie) readEntry(ledgerID, entryID int64) ([]byte, error) {
 	if b.down {
 		return nil, fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
 	}
-	data, ok := b.entries[entryKey{ledgerID, entryID}]
-	if !ok {
+	ls := b.ledgers[ledgerID]
+	if ls == nil || entryID < 0 || entryID >= int64(len(ls.entries)) || ls.entries[entryID] == nil {
 		return nil, fmt.Errorf("%w: ledger %d entry %d on %s", ErrNoEntry, ledgerID, entryID, b.ID)
 	}
-	return append([]byte(nil), data...), nil
+	return append([]byte(nil), ls.entries[entryID]...), nil
 }
 
 // fence marks the ledger read-only on this bookie and returns the highest
@@ -145,30 +169,26 @@ func (b *Bookie) fence(ledgerID int64) (int64, error) {
 	if b.down {
 		return -1, fmt.Errorf("%w: %s", ErrBookieDown, b.ID)
 	}
-	b.fenced[ledgerID] = true
-	if last, ok := b.last[ledgerID]; ok {
-		return last, nil
-	}
-	return -1, nil
+	ls := b.ledgerLocked(ledgerID)
+	ls.fenced = true
+	return ls.last, nil
 }
 
 func (b *Bookie) deleteLedger(ledgerID int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for k := range b.entries {
-		if k.ledger == ledgerID {
-			delete(b.entries, k)
-		}
-	}
-	delete(b.fenced, ledgerID)
-	delete(b.last, ledgerID)
+	delete(b.ledgers, ledgerID)
 }
 
 // EntryCount returns how many entries the bookie stores (all ledgers).
 func (b *Bookie) EntryCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.entries)
+	n := 0
+	for _, ls := range b.ledgers {
+		n += ls.count
+	}
+	return n
 }
 
 // metadata is the per-ledger record kept in the coordination service.

@@ -35,12 +35,32 @@ type Attr struct {
 
 // Span is an in-flight span. All methods are nil-safe no-ops so callers can
 // trace unconditionally against a nil tracer.
+//
+// Spans are pooled: End hands the finished record to the tracer and recycles
+// the Span object, so a span must not be touched after End — no SetAttr, no
+// StartChild, no second End. (End remains idempotent against accidental
+// double-calls that race the recycle, but a retained pointer is a bug.)
 type Span struct {
 	tracer *Tracer
 	data   SpanData
 
 	mu    sync.Mutex
 	ended bool
+}
+
+// spanPool recycles Span objects so steady-state tracing under the
+// retention cap allocates only when a span carries attributes.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// takeSpan draws a recycled Span and arms it with d.
+func takeSpan(t *Tracer, d SpanData) *Span {
+	sp := spanPool.Get().(*Span)
+	sp.mu.Lock()
+	sp.tracer = t
+	sp.data = d
+	sp.ended = false
+	sp.mu.Unlock()
+	return sp
 }
 
 // Tracer creates and collects spans.
@@ -99,12 +119,12 @@ func (t *Tracer) StartSpan(name string) *Span {
 		return nil
 	}
 	id := atomic.AddInt64(&t.nextID, 1)
-	return &Span{tracer: t, data: SpanData{
+	return takeSpan(t, SpanData{
 		TraceID: id,
 		SpanID:  id,
 		Name:    name,
 		Start:   t.clock.Now(),
-	}}
+	})
 }
 
 // StartChild opens a child span in the same trace. Nil span → nil child.
@@ -119,13 +139,13 @@ func (sp *Span) StartChild(name string) *Span {
 		t.mu.Unlock()
 		return nil
 	}
-	return &Span{tracer: t, data: SpanData{
+	return takeSpan(t, SpanData{
 		TraceID:  sp.data.TraceID,
 		SpanID:   atomic.AddInt64(&t.nextID, 1),
 		ParentID: sp.data.SpanID,
 		Name:     name,
 		Start:    t.clock.Now(),
-	}}
+	})
 }
 
 // SetAttr annotates the span. No-op on nil or after End.
@@ -162,9 +182,14 @@ func (sp *Span) End() {
 	sp.ended = true
 	sp.data.Duration = sp.tracer.clock.Now().Sub(sp.data.Start)
 	data := sp.data
-	sp.mu.Unlock()
-
 	t := sp.tracer
+	// Disarm before recycling. The recorded SpanData keeps the Attrs slice,
+	// so the zeroed span cannot alias it.
+	sp.tracer = nil
+	sp.data = SpanData{}
+	sp.mu.Unlock()
+	spanPool.Put(sp)
+
 	t.mu.Lock()
 	if len(t.finished) < t.maxSpans {
 		t.finished = append(t.finished, data)

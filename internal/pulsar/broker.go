@@ -131,6 +131,10 @@ func (b *Broker) SetDown(down bool) {
 	b.down = down
 	b.topics = map[string]*topicState{}
 	b.mu.Unlock()
+	// Either direction invalidates cached ownership: a crashed broker must
+	// not be resolved again, and a revived one no longer holds the topics
+	// the cache remembers it owning.
+	b.cluster.dropOwnerEntries(b)
 	if down {
 		b.cluster.meta.CloseSession(b.session)
 	} else {
@@ -158,8 +162,28 @@ func (b *Broker) topicLocked(topicName string) (*topicState, error) {
 	return ts, nil
 }
 
-// publish appends a message durably and dispatches it to subscribers.
+// publish appends a message durably and dispatches it to subscribers. This
+// is the non-producer entry point (tests, ad-hoc callers): it encodes the
+// entry itself — the encode doubles as the defensive payload copy — and
+// funnels into the zero-copy path below.
 func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
+	entry := make([]byte, entrySize(key, topicName, len(payload)))
+	view := encodeEntryInto(entry, key, topicName, payload)
+	return b.publishEntry(topicName, key, entry, view)
+}
+
+// publishEntry appends a pre-encoded entry durably and dispatches it.
+//
+// entry is the wire-format buffer (header unstamped; the broker writes the
+// authoritative seq and publish time in place under the topic lock, before
+// the durable append) and payload is the view aliasing entry's payload
+// bytes. From here the buffer travels uncopied: the bookie replicas retain
+// it as the durable entry, the topic cache holds the payload view, and
+// consumers receive that same view. The caller must treat both as
+// immutable once passed in — on a failed append the buffer may already sit
+// on a bookie, so a retry must re-encode into a fresh buffer, never restamp
+// this one (Producer.SendKey does exactly that).
+func (b *Broker) publishEntry(topicName, key string, entry, payload []byte) (int64, error) {
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d) // before any lock: sleeping under a lock stalls the virtual clock
 	}
@@ -174,37 +198,31 @@ func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	m := Message{
-		Seq: ts.nextSeq,
-		Key: key,
-		// The single defensive copy on the publish path: the broker owns
-		// this buffer; the ledger layer and consumers share it read-only.
-		Payload:     append([]byte(nil), payload...),
-		PublishTime: b.cluster.clock.Now(),
-		Topic:       topicName,
-	}
-	if _, err := ts.writer.Append(encodeMessage(m)); err != nil {
+	now := b.cluster.clock.Now()
+	seq := ts.nextSeq
+	stampEntry(entry, seq, now)
+	if _, err := ts.writer.Append(entry); err != nil {
 		return 0, err
 	}
 	ts.nextSeq++
-	ts.cache = append(ts.cache, m)
+	ts.cache = append(ts.cache, Message{Seq: seq, Key: key, Payload: payload, PublishTime: now, Topic: ts.name})
 	c := b.cluster
 	c.obsPublished.Inc()
 	if c.obsPublishLat != nil {
-		c.obsPublishLat.Observe(c.clock.Now().Sub(m.PublishTime))
+		c.obsPublishLat.Observe(c.clock.Now().Sub(now))
 	}
 	for _, sub := range ts.subs {
 		b.dispatchLocked(ts, sub)
 		sub.updateBacklogLocked(ts)
 	}
-	return m.Seq, nil
+	return seq, nil
 }
 
-// publishBatch appends a producer batch as one ledger group commit and then
-// dispatches. The payloads are owned by the broker from this point on (the
-// producer already made the defensive copy when it buffered them); all
+// publishEntryBatch appends a producer batch as one ledger group commit and
+// then dispatches. entries are pre-encoded wire buffers and views their
+// payload aliases (see publishEntry for the ownership contract); all
 // messages share one PublishTime. Returns the first assigned seq.
-func (b *Broker) publishBatch(topicName string, keys []string, payloads [][]byte) (int64, error) {
+func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, views [][]byte) (int64, error) {
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d)
 	}
@@ -221,26 +239,19 @@ func (b *Broker) publishBatch(topicName string, keys []string, payloads [][]byte
 	defer ts.mu.Unlock()
 	now := b.cluster.clock.Now()
 	first := ts.nextSeq
-	entries := make([][]byte, len(payloads))
-	for i := range payloads {
-		m := Message{
-			Seq:         first + int64(i),
-			Key:         keys[i],
-			Payload:     payloads[i],
-			PublishTime: now,
-			Topic:       topicName,
-		}
-		entries[i] = encodeMessage(m)
-		ts.cache = append(ts.cache, m)
+	for i := range entries {
+		stampEntry(entries[i], first+int64(i), now)
 	}
 	if _, err := ts.writer.AppendBatch(entries); err != nil {
-		ts.cache = ts.cache[:first] // roll back the optimistic cache appends
 		return 0, err
 	}
-	ts.nextSeq = first + int64(len(payloads))
+	for i := range entries {
+		ts.cache = append(ts.cache, Message{Seq: first + int64(i), Key: keys[i], Payload: views[i], PublishTime: now, Topic: ts.name})
+	}
+	ts.nextSeq = first + int64(len(entries))
 	c := b.cluster
-	c.obsPublished.Add(int64(len(payloads)))
-	c.obsBatchSize.ObserveValue(int64(len(payloads)))
+	c.obsPublished.Add(int64(len(entries)))
+	c.obsBatchSize.ObserveValue(int64(len(entries)))
 	if c.obsPublishLat != nil {
 		c.obsPublishLat.Observe(c.clock.Now().Sub(now))
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/ledger"
 )
 
 // ProducerOptions tunes a producer's batching behavior.
@@ -41,12 +43,23 @@ type Producer struct {
 	pending  map[string]*topicBatch // concrete topic → buffered batch
 	pendingN int
 	firstAt  time.Time // publish-clock time of the oldest buffered message
+
+	// arena carves encoded-entry buffers (guarded by mu); free recycles
+	// drained topicBatch scratch structures across flushes. Together they
+	// make the steady-state publish path allocation-free apart from the
+	// entry bytes themselves, which the ledger retains.
+	arena entryArena
+	free  []*topicBatch
 }
 
-// topicBatch is the buffered tail of one partition's stream.
+// topicBatch is the buffered tail of one partition's stream: messages are
+// encoded into their wire-format entries at enqueue time (the encode doubles
+// as the defensive payload copy), so a flush hands the buffers straight to
+// the broker and the bookies without another copy.
 type topicBatch struct {
-	keys     []string
-	payloads [][]byte
+	keys    []string
+	entries [][]byte // encoded entries, headers unstamped
+	views   [][]byte // payload views aliasing entries
 }
 
 // CreateProducer opens a producer for an existing topic with the cluster's
@@ -86,6 +99,15 @@ func (p *Producer) Send(payload []byte) (int64, error) {
 	return p.SendKey("", payload)
 }
 
+// retryablePublishErr reports whether a publish failure warrants owner
+// re-resolution and retry: the broker was down or no longer owned the topic,
+// or its writer lost the ledger to a new owner's recovery (fencing) — all
+// the shapes a stale ownership-cache entry can produce.
+func retryablePublishErr(err error) bool {
+	return errors.Is(err, ErrBrokerDown) || errors.Is(err, ErrNoTopic) ||
+		errors.Is(err, ledger.ErrFenced) || errors.Is(err, ledger.ErrWriterClosed)
+}
+
 // SendKey publishes a keyed message synchronously. Keyed messages on
 // partitioned topics always route to the same partition, preserving per-key
 // order. Any buffered SendAsync messages flush first, so the synchronous
@@ -98,22 +120,36 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 			return 0, err
 		}
 	}
-	p.mu.Unlock()
 	t := p.route(key)
+	entry := p.arena.alloc(entrySize(key, t, len(payload)))
+	view := encodeEntryInto(entry, key, t, payload)
+	p.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			// Re-encode into a fresh buffer: the failed attempt may have
+			// left the old one on a bookie, and a restamp would mutate a
+			// retained durable entry.
+			p.mu.Lock()
+			fresh := p.arena.alloc(len(entry))
+			view = encodeEntryInto(fresh, key, t, view)
+			entry = fresh
+			p.mu.Unlock()
+		}
 		b, _, err := p.c.ensureOwner(t)
 		if err != nil {
 			return 0, err
 		}
-		seq, err := b.publish(t, key, payload)
+		seq, err := b.publishEntry(t, key, entry, view)
 		if err == nil {
 			p.c.meterPublish(1)
 			return seq, nil
 		}
 		lastErr = err
-		// The owner may have died between lookup and publish; re-resolve.
-		if !errors.Is(err, ErrBrokerDown) && !errors.Is(err, ErrNoTopic) {
+		// The owner may have died (or been deposed) between lookup and
+		// publish; drop the cached resolution and re-resolve.
+		p.c.invalidateOwner(t)
+		if !retryablePublishErr(err) {
 			return 0, err
 		}
 	}
@@ -124,29 +160,57 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 // its partition commits — one group ledger append — when it reaches
 // MaxBatch messages, when a later SendAsync finds the oldest buffered
 // message older than FlushInterval, or on an explicit Flush. The payload is
-// copied at enqueue time, so the caller may reuse its buffer immediately. A
-// flush error discards that flush's buffered messages (they were never
-// assigned seqs); the caller decides whether to re-send.
+// copied (into its encoded entry buffer) at enqueue time, so the caller may
+// reuse its buffer immediately. A flush error discards that flush's
+// buffered messages (they were never assigned seqs); the caller decides
+// whether to re-send.
 func (p *Producer) SendAsync(key string, payload []byte) error {
 	t := p.route(key)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	tb := p.pending[t]
 	if tb == nil {
-		tb = &topicBatch{}
+		tb = p.takeBatchLocked()
 		p.pending[t] = tb
 	}
+	entry := p.arena.alloc(entrySize(key, t, len(payload)))
 	tb.keys = append(tb.keys, key)
-	tb.payloads = append(tb.payloads, append([]byte(nil), payload...))
-	if p.pendingN == 0 {
-		p.firstAt = p.c.clock.Now()
-	}
+	tb.entries = append(tb.entries, entry)
+	tb.views = append(tb.views, encodeEntryInto(entry, key, t, payload))
 	p.pendingN++
-	if p.pendingN >= p.maxBatch ||
-		(p.interval > 0 && p.c.clock.Now().Sub(p.firstAt) >= p.interval) {
+	if p.pendingN >= p.maxBatch {
+		return p.flushLocked()
+	}
+	// The staleness bound needs the clock only when the batch stays open.
+	now := p.c.clock.Now()
+	if p.pendingN == 1 {
+		p.firstAt = now
+	} else if p.interval > 0 && now.Sub(p.firstAt) >= p.interval {
 		return p.flushLocked()
 	}
 	return nil
+}
+
+// takeBatchLocked returns a recycled (or new) empty topicBatch. Called with
+// p.mu held.
+func (p *Producer) takeBatchLocked() *topicBatch {
+	if n := len(p.free); n > 0 {
+		tb := p.free[n-1]
+		p.free = p.free[:n-1]
+		return tb
+	}
+	return &topicBatch{}
+}
+
+// recycleBatchLocked clears a drained batch's slices (dropping buffer
+// references — the ledger and topic cache own them now) and shelves it for
+// reuse. Called with p.mu held.
+func (p *Producer) recycleBatchLocked(tb *topicBatch) {
+	for i := range tb.entries {
+		tb.keys[i], tb.entries[i], tb.views[i] = "", nil, nil
+	}
+	tb.keys, tb.entries, tb.views = tb.keys[:0], tb.entries[:0], tb.views[:0]
+	p.free = append(p.free, tb)
 }
 
 // Flush publishes every buffered SendAsync message. It is a no-op on an
@@ -158,38 +222,49 @@ func (p *Producer) Flush() error {
 }
 
 // flushLocked commits each partition's buffered batch. Called with p.mu
-// held. The buffer is cleared regardless of outcome.
+// held. The buffer is cleared (and its scratch recycled) regardless of
+// outcome.
 func (p *Producer) flushLocked() error {
 	if p.pendingN == 0 {
 		return nil
 	}
-	pending := p.pending
-	p.pending = map[string]*topicBatch{}
-	p.pendingN = 0
 	var firstErr error
-	for t, tb := range pending {
-		if err := p.publishBatch(t, tb); err != nil && firstErr == nil {
+	for t, tb := range p.pending {
+		if err := p.publishBatchLocked(t, tb); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		delete(p.pending, t)
+		p.recycleBatchLocked(tb)
 	}
+	p.pendingN = 0
 	return firstErr
 }
 
-// publishBatch commits one partition's batch, re-resolving ownership on
-// broker failover like the synchronous path.
-func (p *Producer) publishBatch(t string, tb *topicBatch) error {
+// publishBatchLocked commits one partition's batch, re-resolving ownership
+// on broker failover like the synchronous path. Called with p.mu held.
+func (p *Producer) publishBatchLocked(t string, tb *topicBatch) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			// Fresh buffers for the retry: the failed append may have left
+			// the old ones on bookie replicas (see Broker.publishEntry).
+			for i := range tb.entries {
+				fresh := p.arena.alloc(len(tb.entries[i]))
+				tb.views[i] = encodeEntryInto(fresh, tb.keys[i], t, tb.views[i])
+				tb.entries[i] = fresh
+			}
+		}
 		b, _, err := p.c.ensureOwner(t)
 		if err != nil {
 			return err
 		}
-		if _, err := b.publishBatch(t, tb.keys, tb.payloads); err == nil {
-			p.c.meterPublish(len(tb.payloads))
+		if _, err := b.publishEntryBatch(t, tb.keys, tb.entries, tb.views); err == nil {
+			p.c.meterPublish(len(tb.entries))
 			return nil
 		} else {
 			lastErr = err
-			if !errors.Is(err, ErrBrokerDown) && !errors.Is(err, ErrNoTopic) {
+			p.c.invalidateOwner(t)
+			if !retryablePublishErr(err) {
 				return err
 			}
 		}
@@ -213,6 +288,11 @@ func (p *Producer) route(key string) string {
 // Consumer receives messages from a subscription. For partitioned topics it
 // consumes a merged stream across all partitions. Consumers poll their inbox
 // on the cluster clock, transparently re-attaching after broker failovers.
+//
+// A Consumer's inbox is a single-consumer queue: at most one goroutine may
+// call TryReceive/Receive on a given Consumer at a time (brokers push into
+// it concurrently from many topics; only the pop side is exclusive). Use one
+// Consumer per receiving goroutine, as every existing caller does.
 type Consumer struct {
 	c    *Cluster
 	name string // topic
@@ -250,7 +330,7 @@ func (c *Cluster) Subscribe(topic, subName string, mode SubMode, pos InitialPosi
 		mode:     mode,
 		pos:      pos,
 		id:       id,
-		inbox:    &inbox{},
+		inbox:    newInbox(),
 		concrete: c.concreteTopics(topic, parts),
 		epochs:   map[string]int64{},
 	}
@@ -278,6 +358,9 @@ func (cons *Consumer) ensureAttached() error {
 		}
 		reg := &consumerReg{id: cons.id, inbox: cons.inbox}
 		if err := b.subscribe(t, cons.sub, cons.mode, cons.pos, reg); err != nil {
+			// A stale ownership-cache hit surfaces here (the cached broker
+			// no longer owns t); invalidate so the next attach re-resolves.
+			cons.c.invalidateOwner(t)
 			return err
 		}
 		cons.epochs[t] = ep
@@ -313,12 +396,23 @@ func (cons *Consumer) Receive(timeout time.Duration) (Message, bool) {
 }
 
 // Ack marks a message consumed, advancing the subscription's durable cursor.
+// Like publish, it re-resolves ownership once if the cached owner turns out
+// to be deposed or down.
 func (cons *Consumer) Ack(m Message) error {
-	b, _, err := cons.c.ensureOwner(m.Topic)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		b, _, err := cons.c.ensureOwner(m.Topic)
+		if err != nil {
+			return err
+		}
+		err = b.ack(m.Topic, cons.sub, m.Seq)
+		if err == nil || (!errors.Is(err, ErrBrokerDown) && !errors.Is(err, ErrNoTopic)) {
+			return err
+		}
+		lastErr = err
+		cons.c.invalidateOwner(m.Topic)
 	}
-	return b.ack(m.Topic, cons.sub, m.Seq)
+	return lastErr
 }
 
 // Close detaches the consumer; its unacked messages redeliver to surviving

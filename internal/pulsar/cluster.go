@@ -72,6 +72,18 @@ type Cluster struct {
 	epochs       map[string]int64 // concrete topic → ownership epoch
 	nextConsumer int64
 
+	// owners caches resolved topic ownership so the publish/ack hot path is
+	// one lock-free map probe instead of a coordination-service lock lookup
+	// per call. Entries are invalidated error-driven: a caller whose
+	// operation on the cached broker fails with an ownership-shaped error
+	// (ErrBrokerDown, ErrNoTopic, a fenced/closed ledger) calls
+	// invalidateOwner and re-resolves. Staleness is safe, never silent: a
+	// deposed broker either knows it lost the topic (ErrNoTopic) or its
+	// zombie writer is fenced by the new owner's recovery (ErrFenced), so a
+	// stale entry can only produce an error, not a lost ack or a divergent
+	// ledger.
+	owners sync.Map // concrete topic → ownerEntry
+
 	// Pre-resolved observability handles; nil (no-ops) until SetObs. The
 	// registry itself is kept for per-subscription backlog gauges, which are
 	// created lazily when subscriptions appear.
@@ -203,11 +215,49 @@ func (c *Cluster) concreteTopics(name string, partitions int) []string {
 	return out
 }
 
+// ownerEntry is a cached ownership resolution.
+type ownerEntry struct {
+	b  *Broker
+	ep int64
+}
+
+// invalidateOwner drops a cached ownership resolution. Callers invoke it
+// when an operation on the cached broker fails, before re-resolving.
+func (c *Cluster) invalidateOwner(topic string) {
+	c.owners.Delete(topic)
+}
+
+// dropOwnerEntries removes every cached resolution pointing at b (called on
+// broker crash injection so the next publish re-elects immediately instead
+// of burning a failed attempt).
+func (c *Cluster) dropOwnerEntries(b *Broker) {
+	c.owners.Range(func(k, v any) bool {
+		if v.(ownerEntry).b == b {
+			c.owners.Delete(k)
+		}
+		return true
+	})
+}
+
 // ensureOwner returns the broker owning the concrete topic, electing one
 // (and running topic recovery on it) if the topic is unowned or its owner is
 // down. It also returns the ownership epoch, which clients use to detect
-// failovers.
+// failovers. Resolutions are served from the owner cache when possible; see
+// the owners field for why stale hits are safe.
 func (c *Cluster) ensureOwner(topic string) (*Broker, int64, error) {
+	if v, ok := c.owners.Load(topic); ok {
+		e := v.(ownerEntry)
+		if !e.b.Down() {
+			return e.b, e.ep, nil
+		}
+		c.owners.Delete(topic)
+	}
+	return c.resolveOwner(topic)
+}
+
+// resolveOwner is the slow path: the coordination-service lookup/election,
+// caching the result.
+func (c *Cluster) resolveOwner(topic string) (*Broker, int64, error) {
 	lockPath := "/pulsar/owners/" + topic
 	for attempt := 0; attempt < 8; attempt++ {
 		if data, held := c.meta.LockHolder(lockPath); held {
@@ -217,6 +267,7 @@ func (c *Cluster) ensureOwner(topic string) (*Broker, int64, error) {
 				c.mu.Lock()
 				ep := c.epochs[topic]
 				c.mu.Unlock()
+				c.owners.Store(topic, ownerEntry{b: b, ep: ep})
 				return b, ep, nil
 			}
 			// Owner is gone or down: break the stale lock.
@@ -241,6 +292,7 @@ func (c *Cluster) ensureOwner(topic string) (*Broker, int64, error) {
 		c.epochs[topic]++
 		ep := c.epochs[topic]
 		c.mu.Unlock()
+		c.owners.Store(topic, ownerEntry{b: cand, ep: ep})
 		return cand, ep, nil
 	}
 	return nil, 0, fmt.Errorf("pulsar: ownership of %q could not be established", topic)
@@ -355,7 +407,14 @@ func (c *Cluster) Backlog(topic, subName string) (int64, error) {
 		}
 		n, err := b.backlog(t, subName)
 		if err != nil {
-			return 0, err
+			// Stale ownership-cache hit: re-resolve once and retry.
+			c.invalidateOwner(t)
+			if b, _, err = c.ensureOwner(t); err != nil {
+				return 0, err
+			}
+			if n, err = b.backlog(t, subName); err != nil {
+				return 0, err
+			}
 		}
 		total += n
 	}

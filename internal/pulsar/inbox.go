@@ -1,77 +1,110 @@
 package pulsar
 
-import "sync"
+import "sync/atomic"
 
-// inboxMinCap is the smallest ring the inbox keeps allocated. Below this the
-// shrink logic leaves the buffer alone — resizing a 16-slot ring buys nothing.
-const inboxMinCap = 16
+// inboxSegCap is the slot count of one inbox segment. A segment is ~20 KB of
+// Messages; one heap allocation buys 256 pushes.
+const inboxSegCap = 256
 
-// inbox is an unbounded per-consumer delivery buffer. It is a growable ring
-// buffer rather than a head-sliced []Message: popping advances a head index
-// instead of re-slicing, consumed slots are zeroed so payloads become
-// collectable immediately, and the ring shrinks once occupancy falls to a
-// quarter of capacity — a long-lived consumer that drained a large backlog
-// does not pin the backlog-sized array forever.
+// inboxSeg is one write-once segment of the queue. Producers claim slots by
+// ticket (tail.Add), write the message, then set the slot's published flag;
+// slots are never reused, so a slow producer can only delay its own slot,
+// never corrupt a neighbour's.
+type inboxSeg struct {
+	next      atomic.Pointer[inboxSeg]
+	tail      atomic.Int64 // tickets issued in this segment (may exceed inboxSegCap)
+	published [inboxSegCap]atomic.Bool
+	msgs      [inboxSegCap]Message
+}
+
+// inbox is an unbounded lock-free MPSC delivery queue: many producers
+// (brokers dispatching different topics/partitions under their own topic
+// locks) push concurrently, exactly one consumer goroutine pops. Replacing
+// the old mutex-guarded ring means a publish never queues behind a consumer
+// mid-pop — dispatch is wait-free for producers except when a segment fills.
+//
+// Structure: a linked list of fixed-size write-once segments. Producers
+// race on an atomic ticket per segment; overflow tickets install (or help
+// install) the next segment via CAS and retry there. The single consumer
+// owns headSeg/headIdx outright — no synchronization on the read position.
+// Segments are never recycled: retiring them to the garbage collector
+// side-steps the ABA and late-producer hazards reuse would invite, at the
+// cost of one allocation per inboxSegCap messages.
+//
+// Ordering: messages from one producer (pushes under one topic's lock)
+// arrive in order because each push completes before the next begins.
+// Cross-producer interleaving carries no ordering contract, same as before.
+// pop stops at the first unpublished slot even if later slots are published:
+// that slot's producer is mid-push, and its message is not deliverable yet.
 type inbox struct {
-	mu   sync.Mutex
-	buf  []Message
-	head int // index of the oldest message
-	n    int // live message count
+	headSeg *inboxSeg // consumer-owned; only pop touches these
+	headIdx int
+
+	tailSeg atomic.Pointer[inboxSeg]
+
+	pushed atomic.Int64
+	popped atomic.Int64
 }
 
+func newInbox() *inbox {
+	in := &inbox{}
+	seg := &inboxSeg{}
+	in.headSeg = seg
+	in.tailSeg.Store(seg)
+	return in
+}
+
+// push enqueues m. Safe for any number of concurrent producers.
 func (in *inbox) push(m Message) {
-	in.mu.Lock()
-	if in.n == len(in.buf) {
-		in.resize(maxInt(2*len(in.buf), inboxMinCap))
+	for {
+		seg := in.tailSeg.Load()
+		t := seg.tail.Add(1) - 1
+		if t < inboxSegCap {
+			seg.msgs[t] = m
+			seg.published[t].Store(true)
+			in.pushed.Add(1)
+			return
+		}
+		// Segment exhausted: install the successor (or adopt the one a
+		// racing producer installed), advance the shared tail pointer past
+		// the full segment, and retry there.
+		next := seg.next.Load()
+		if next == nil {
+			n := &inboxSeg{}
+			if seg.next.CompareAndSwap(nil, n) {
+				next = n
+			} else {
+				next = seg.next.Load()
+			}
+		}
+		in.tailSeg.CompareAndSwap(seg, next)
 	}
-	in.buf[(in.head+in.n)%len(in.buf)] = m
-	in.n++
-	in.mu.Unlock()
 }
 
+// pop dequeues the oldest delivered message. Single-consumer only: exactly
+// one goroutine may call pop (each Consumer owns its inbox — documented on
+// Consumer).
 func (in *inbox) pop() (Message, bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.n == 0 {
-		return Message{}, false
+	for {
+		if in.headIdx < inboxSegCap {
+			if !in.headSeg.published[in.headIdx].Load() {
+				return Message{}, false
+			}
+			m := in.headSeg.msgs[in.headIdx]
+			in.headSeg.msgs[in.headIdx] = Message{} // release the payload reference
+			in.headIdx++
+			in.popped.Add(1)
+			return m, true
+		}
+		next := in.headSeg.next.Load()
+		if next == nil {
+			return Message{}, false
+		}
+		in.headSeg, in.headIdx = next, 0
 	}
-	m := in.buf[in.head]
-	in.buf[in.head] = Message{} // drop the payload reference for the GC
-	in.head = (in.head + 1) % len(in.buf)
-	in.n--
-	if len(in.buf) > inboxMinCap && in.n <= len(in.buf)/4 {
-		in.resize(maxInt(2*in.n, inboxMinCap))
-	}
-	return m, true
 }
 
-// len reports the buffered message count.
+// len reports the buffered message count (exact when producers are quiet).
 func (in *inbox) len() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.n
-}
-
-// capacity reports the ring's allocated slot count (for shrink tests).
-func (in *inbox) capacity() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return len(in.buf)
-}
-
-// resize re-homes the live messages into a ring of newCap slots. Called with
-// in.mu held; newCap must be ≥ in.n.
-func (in *inbox) resize(newCap int) {
-	nb := make([]Message, newCap)
-	for i := 0; i < in.n; i++ {
-		nb[i] = in.buf[(in.head+i)%len(in.buf)]
-	}
-	in.buf, in.head = nb, 0
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return int(in.pushed.Load() - in.popped.Load())
 }

@@ -1,85 +1,106 @@
 package pulsar
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
-func TestInboxFIFOWithWraparound(t *testing.T) {
-	in := &inbox{}
-	// Interleave pushes and pops so head wraps around the ring repeatedly:
-	// each iteration pushes seqs 2i and 2i+1 and pops one message.
+func TestInboxFIFOAcrossSegments(t *testing.T) {
+	in := newInbox()
+	const n = 3*inboxSegCap + 17 // force several segment hand-offs
 	next := int64(0)
-	for i := int64(0); i < 100; i++ {
-		in.push(Message{Seq: 2 * i})
-		in.push(Message{Seq: 2*i + 1})
+	for i := 0; i < n; i++ {
+		in.push(Message{Seq: 2 * int64(i)})
+		in.push(Message{Seq: 2*int64(i) + 1})
 		m, ok := in.pop()
 		if !ok || m.Seq != next {
-			t.Fatalf("pop %d = (%v, %v), want seq %d", i, m.Seq, ok, next)
+			t.Fatalf("pop = (%v, %v), want seq %d", m.Seq, ok, next)
 		}
 		next++
 	}
-	for {
+	for ; next < 2*n; next++ {
 		m, ok := in.pop()
-		if !ok {
-			break
-		}
-		if m.Seq != next {
-			t.Fatalf("drain pop = seq %d, want %d", m.Seq, next)
-		}
-		next++
-	}
-	if next != 200 {
-		t.Fatalf("drained %d messages, want 200", next)
-	}
-}
-
-// TestInboxShrinksAfterDrain pins the memory-retention fix: a consumer that
-// buffered a large backlog must not keep the backlog-sized array alive after
-// draining it (the old head-sliced implementation did).
-func TestInboxShrinksAfterDrain(t *testing.T) {
-	in := &inbox{}
-	const backlog = 4096
-	for i := 0; i < backlog; i++ {
-		in.push(Message{Seq: int64(i), Payload: make([]byte, 16)})
-	}
-	grown := in.capacity()
-	if grown < backlog {
-		t.Fatalf("capacity %d after %d pushes", grown, backlog)
-	}
-	for i := 0; i < backlog; i++ {
-		if _, ok := in.pop(); !ok {
-			t.Fatalf("pop %d failed", i)
+		if !ok || m.Seq != next {
+			t.Fatalf("drain pop = (%v, %v), want seq %d", m.Seq, ok, next)
 		}
 	}
-	if _, ok := in.pop(); ok {
-		t.Fatal("pop on empty inbox succeeded")
+	if m, ok := in.pop(); ok {
+		t.Fatalf("pop on empty inbox returned %v", m.Seq)
 	}
-	if got := in.capacity(); got != inboxMinCap {
-		t.Fatalf("capacity after drain = %d, want shrunk to %d (was %d)", got, inboxMinCap, grown)
-	}
-	// Still usable after shrinking.
-	in.push(Message{Seq: 7})
-	if m, ok := in.pop(); !ok || m.Seq != 7 {
-		t.Fatalf("post-shrink pop = (%+v, %v)", m, ok)
+	if in.len() != 0 {
+		t.Fatalf("len = %d after drain, want 0", in.len())
 	}
 }
 
 // TestInboxZeroesConsumedSlots checks popped slots drop their payload
-// references so the GC can reclaim them even before a shrink happens.
+// references so the GC can reclaim payloads while the segment is still live.
 func TestInboxZeroesConsumedSlots(t *testing.T) {
-	in := &inbox{}
-	for i := 0; i < 4; i++ {
-		in.push(Message{Seq: int64(i), Payload: make([]byte, 8)})
+	in := newInbox()
+	for i := 0; i < 8; i++ {
+		in.push(Message{Seq: int64(i), Payload: make([]byte, 16)})
 	}
-	in.pop()
-	in.pop()
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	zeroed := 0
-	for _, m := range in.buf {
-		if m.Payload == nil && m.Seq == 0 && m.Topic == "" {
-			zeroed++
+	for i := 0; i < 8; i++ {
+		if _, ok := in.pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if in.headSeg.msgs[i].Payload != nil {
+			t.Fatalf("slot %d still references its payload after pop", i)
 		}
 	}
-	if zeroed < 2 {
-		t.Fatalf("only %d slots zeroed after 2 pops (buf %v)", zeroed, len(in.buf))
+}
+
+func TestInboxLen(t *testing.T) {
+	in := newInbox()
+	for i := 0; i < 5; i++ {
+		in.push(Message{Seq: int64(i)})
+	}
+	if in.len() != 5 {
+		t.Fatalf("len = %d, want 5", in.len())
+	}
+	in.pop()
+	in.pop()
+	if in.len() != 3 {
+		t.Fatalf("len = %d, want 3", in.len())
+	}
+}
+
+// TestInboxMPSCStress drives many concurrent producers against the single
+// consumer (run under -race in CI's alloc-gate job): every message must
+// arrive exactly once, and each producer's messages must arrive in the
+// order it pushed them — the ordering contract broker dispatch relies on.
+func TestInboxMPSCStress(t *testing.T) {
+	const producers = 8
+	const perProducer = 4 * inboxSegCap
+
+	in := newInbox()
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				in.push(Message{Seq: int64(i), Key: string(rune('A' + pr))})
+			}
+		}(pr)
+	}
+
+	lastSeq := make(map[string]int64, producers)
+	got := 0
+	for got < producers*perProducer {
+		m, ok := in.pop()
+		if !ok {
+			continue // producers still in flight
+		}
+		if last, seen := lastSeq[m.Key]; seen && m.Seq != last+1 {
+			t.Fatalf("producer %s: seq %d arrived after %d", m.Key, m.Seq, last)
+		} else if !seen && m.Seq != 0 {
+			t.Fatalf("producer %s: first seq = %d, want 0", m.Key, m.Seq)
+		}
+		lastSeq[m.Key] = m.Seq
+		got++
+	}
+	wg.Wait()
+	if m, ok := in.pop(); ok {
+		t.Fatalf("extra message after full drain: %+v", m)
 	}
 }

@@ -64,6 +64,43 @@ func encodeMessage(m Message) []byte {
 	return b
 }
 
+// entrySize returns the encoded size of an entry with the given key, topic
+// and payload length.
+func entrySize(key, topic string, payloadLen int) int {
+	return msgFixedHeader +
+		uvarintLen(uint64(len(key))) + len(key) +
+		uvarintLen(uint64(len(topic))) + len(topic) +
+		uvarintLen(uint64(payloadLen)) + payloadLen
+}
+
+// encodeEntryInto serializes an entry into buf — which must be exactly
+// entrySize bytes — leaving the seq and publish-time header fields zero for
+// the owning broker to stamp (stampEntry). It returns the view of buf's
+// payload bytes: the one copy on the publish path happens here, and that
+// view is what the topic cache and consumers share afterwards. Producers
+// carve buf from an arena, so this is also where the buffer's zero-copy
+// journey to the bookies begins.
+func encodeEntryInto(buf []byte, key, topic string, payload []byte) []byte {
+	buf[0] = codecVersion
+	off := msgFixedHeader
+	off += binary.PutUvarint(buf[off:], uint64(len(key)))
+	off += copy(buf[off:], key)
+	off += binary.PutUvarint(buf[off:], uint64(len(topic)))
+	off += copy(buf[off:], topic)
+	off += binary.PutUvarint(buf[off:], uint64(len(payload)))
+	copy(buf[off:], payload)
+	return buf[off : off+len(payload) : off+len(payload)]
+}
+
+// stampEntry writes the authoritative sequence number and publish time into
+// a pre-encoded entry's fixed-offset header. The owning broker calls this
+// under the topic lock, before the durable append — the only mutation an
+// entry buffer ever sees after encoding.
+func stampEntry(entry []byte, seq int64, at time.Time) {
+	binary.BigEndian.PutUint64(entry[1:], uint64(seq))
+	binary.BigEndian.PutUint64(entry[9:], uint64(at.UnixNano()))
+}
+
 // decodeMessage parses a ledger entry in either the binary format or the
 // legacy JSON format. The returned Message's Payload may alias b.
 func decodeMessage(b []byte) (Message, error) {

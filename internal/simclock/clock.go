@@ -11,7 +11,10 @@
 // earliest deadline and wakes the sleepers due at that instant.
 package simclock
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Clock is the time source shared by all platform components.
 //
@@ -47,10 +50,30 @@ type Real struct{}
 // Now returns time.Now().
 func (Real) Now() time.Time { return time.Now() }
 
-// Sleep calls time.Sleep.
+// spinSleepMax bounds the sleeps Real.Sleep serves by yielding-and-polling
+// instead of the runtime timer. Modelled latencies of a few nanoseconds —
+// the warm-start and append latencies micro-benchmarks configure — cost
+// microseconds through time.Sleep's timer machinery, dwarfing the thing
+// being measured; a Gosched loop keeps them honest while still yielding the
+// processor, so single-CPU runs cannot livelock.
+const spinSleepMax = 10 * time.Microsecond
+
+// Sleep blocks for d: short sleeps yield-and-poll (see spinSleepMax), longer
+// ones call time.Sleep.
 func (Real) Sleep(d time.Duration) {
-	if d > 0 {
+	if d <= 0 {
+		return
+	}
+	if d > spinSleepMax {
 		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for {
+		runtime.Gosched()
+		if !time.Now().Before(deadline) {
+			return
+		}
 	}
 }
 

@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the data-plane micro-benchmarks with
-# -benchmem and writes a JSON snapshot (ns/op, B/op, allocs/op per
-# benchmark) so successive PRs can diff the perf trajectory. The snapshot
-# carries a meta block (go version, GOOS/GOARCH, CPU count, git commit) so a
-# diff that crosses machines or toolchains is visible as such.
+# -benchmem, median-of-N (default 5), and writes a JSON snapshot per
+# benchmark: median ns/op (as ns_per_op, so older snapshots diff cleanly)
+# plus min/max and the relative spread (max-min)/median, and median B/op /
+# allocs/op. The snapshot carries a meta block (go version, GOOS/GOARCH,
+# CPU count, git commit, runs, benchtime) so a diff that crosses machines
+# or toolchains is visible as such.
+#
+# Iterations are FIXED by default (-benchtime 200000x) rather than
+# time-based: with -benchtime 1s the runtime picks a different iteration
+# count per run, and benchmarks that retain heap across iterations (e.g.
+# publish filling bookie ledgers) get charged different amortized GC/growth
+# costs per run — that is exactly the PR5 batch16 "anomaly". Fixed
+# iterations make runs comparable; median-of-N absorbs scheduler noise.
 #
 # Usage:
 #   scripts/bench.sh [output.json]        # default output: BENCH.json
 #   BENCH_PATTERN='BenchmarkPulsar.*' scripts/bench.sh  # narrow the sweep
-#   BENCH_TIME=300000x scripts/bench.sh   # fixed iterations (fair diffs)
+#   BENCH_TIME=500000x scripts/bench.sh   # more iterations per run
+#   BENCH_RUNS=3 scripts/bench.sh         # fewer repetitions
 #
 # Experiment benchmarks (one full simulation per iteration) are excluded by
 # default; they honor `go test -short`.
@@ -17,7 +27,8 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
 pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry|BenchmarkAdmission|BenchmarkAutoscaleTick}"
-benchtime="${BENCH_TIME:-1s}"
+benchtime="${BENCH_TIME:-200000x}"
+runs="${BENCH_RUNS:-5}"
 
 go_version="$(go env GOVERSION)"
 goos="$(go env GOOS)"
@@ -27,44 +38,72 @@ commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee "$tmp"
+for ((r = 1; r <= runs; r++)); do
+  echo "== run $r/$runs"
+  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee -a "$tmp"
+done
 
 {
   printf '{\n'
-  printf '  "meta": {"go":"%s","goos":"%s","goarch":"%s","cpus":%s,"commit":"%s"},\n' \
-    "$go_version" "$goos" "$goarch" "$cpus" "$commit"
+  printf '  "meta": {"go":"%s","goos":"%s","goarch":"%s","cpus":%s,"commit":"%s","runs":%s,"benchtime":"%s"},\n' \
+    "$go_version" "$goos" "$goarch" "$cpus" "$commit" "$runs" "$benchtime"
   printf '  "benchmarks": [\n    '
   awk '
+  function median(arr, n,   i, j, t) {
+    for (i = 2; i <= n; i++) {
+      t = arr[i]
+      for (j = i - 1; j >= 1 && arr[j] > t; j--) arr[j + 1] = arr[j]
+      arr[j + 1] = t
+    }
+    if (n % 2) return arr[(n + 1) / 2]
+    return (arr[n / 2] + arr[n / 2 + 1]) / 2
+  }
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = "null"; bytes = "null"; allocs = "null"
     for (i = 2; i <= NF; i++) {
-      if ($i == "ns/op")     ns     = $(i-1)
-      if ($i == "B/op")      bytes  = $(i-1)
-      if ($i == "allocs/op") allocs = $(i-1)
+      if ($i == "ns/op")     { cnt[name]++; ns[name, cnt[name]] = $(i-1) + 0 }
+      if ($i == "B/op")      bytes[name, cnt[name]]  = $(i-1) + 0
+      if ($i == "allocs/op") allocs[name, cnt[name]] = $(i-1) + 0
     }
-    printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, bytes, allocs
-    sep = ",\n    "
+    if (!(name in seen)) { seen[name] = 1; order[++norder] = name }
+  }
+  END {
+    for (k = 1; k <= norder; k++) {
+      name = order[k]; n = cnt[name]
+      mn = ns[name, 1]; mx = ns[name, 1]
+      for (i = 1; i <= n; i++) {
+        v[i] = ns[name, i]; b[i] = bytes[name, i]; a[i] = allocs[name, i]
+        if (v[i] < mn) mn = v[i]
+        if (v[i] > mx) mx = v[i]
+      }
+      med = median(v, n)
+      spread = med > 0 ? (mx - mn) / med * 100 : 0
+      printf "%s{\"name\":\"%s\",\"ns_per_op\":%g,\"ns_min\":%g,\"ns_max\":%g,\"spread_pct\":%.1f,\"bytes_per_op\":%g,\"allocs_per_op\":%g,\"runs\":%d}", \
+        sep, name, med, mn, mx, spread, median(b, n), median(a, n), n
+      sep = ",\n    "
+    }
   }
   ' "$tmp"
   printf '\n  ]\n}\n'
 } > "$out"
 echo "wrote $out"
 
-# Diff against the previous snapshot (most recent BENCH_pr*.json other than
-# the one just written, or $BENCH_BASELINE) and warn on >5% ns/op
-# regressions. Warnings are advisory — a cross-machine or cross-toolchain
-# diff shows up in the meta block, so this never fails the run.
+# Regression gate: diff MEDIANS against the previous snapshot (most recent
+# BENCH_pr*.json other than the one just written, or $BENCH_BASELINE) and
+# warn on >5% median-ns/op regressions. Older snapshots that predate the
+# median harness carry a single-run ns_per_op; the diff still works, the
+# meta block shows the difference. Warnings are advisory — a cross-machine
+# or cross-toolchain diff shows up in meta, so this never fails the run.
 base="${BENCH_BASELINE:-}"
 if [ -z "$base" ]; then
   base="$(ls BENCH_pr*.json 2>/dev/null | grep -Fxv "$out" | sort -V | tail -1 || true)"
 fi
 if [ -n "$base" ] && [ -f "$base" ]; then
-  echo "== diff vs $base (warn on >5% ns/op regressions)"
+  echo "== diff of medians vs $base (warn on >5% regressions)"
   awk -v baseline="$base" '
   /"name":/ {
     match($0, /"name":"[^"]*"/);     name = substr($0, RSTART+8,  RLENGTH-9)
-    match($0, /"ns_per_op":[0-9.]+/)
+    match($0, /"ns_per_op":[0-9.e+]+/)
     if (RSTART == 0) next
     ns = substr($0, RSTART+12, RLENGTH-12) + 0
     if (FILENAME == baseline) old[name] = ns; else cur[name] = ns
