@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faas"
+	"repro/internal/obs"
 )
 
 // TestWarmInvokeZeroAllocs pins the warm synchronous invoke path at zero
@@ -69,5 +70,43 @@ func TestPublishSyncAtMostOneAlloc(t *testing.T) {
 	})
 	if got > 1 {
 		t.Fatalf("sync publish allocates %.3f allocs/op, want <= 1", got)
+	}
+}
+
+// TestWarmInvokeTracedZeroAllocs pins the warm invoke path at zero allocs
+// with tracing *actively staging* spans. The tail sampler is configured to
+// discard every normal trace (KeepFraction 0, nothing slow enough to force
+// a keep), so the retention buffer never fills and the full-tracer
+// short-circuit the plain gate eventually hits can never kick in: every
+// measured invoke runs the real span staging, finalization and sampling
+// machinery. Per-trace buffers must come from the tracer's free list and
+// span contexts from atomics for this to stay at zero.
+func TestWarmInvokeTracedZeroAllocs(t *testing.T) {
+	p := core.New(core.Options{})
+	p.Obs.Tracer().SetSampler(obs.SamplerConfig{
+		Seed:          7,
+		KeepFraction:  0,
+		SlowThreshold: time.Hour,
+	})
+	if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		return in, nil
+	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if _, err := p.Invoke("noop", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(2000, func() {
+		if _, err := p.Invoke("noop", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Fatalf("traced warm invoke allocates %.3f allocs/op, want 0", got)
+	}
+	if st := p.Obs.Tracer().Stats(); st.DiscardedTraces == 0 {
+		t.Fatalf("sampler never discarded a trace (stats %+v); the gate is not exercising staging", st)
 	}
 }

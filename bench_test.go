@@ -569,3 +569,82 @@ func BenchmarkOrchestratedChain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTracePropagation prices the causal-tracing hot path added in PR7.
+// The sampler is set to discard everything (KeepFraction 0, nothing slow
+// enough to force a keep), so retention never fills and every iteration runs
+// real span staging, finalization, and the sampling decision — the same
+// regime the traced alloc gate pins at 0 allocs/op. "span-chain" is the raw
+// tracer primitive (root → two children, context handoff via Ctx());
+// "invoke-traced" is the full warm invoke with tracing live, the number to
+// compare against BenchmarkInvokeWarm for the end-to-end tracing tax.
+func BenchmarkTracePropagation(b *testing.B) {
+	discard := obs.SamplerConfig{Seed: 7, KeepFraction: 0, SlowThreshold: time.Hour}
+	b.Run("span-chain", func(b *testing.B) {
+		tr := obs.New(nil).Tracer()
+		tr.SetSampler(discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := tr.Start(obs.TraceCtx{}, "bench.root")
+			c1 := tr.Start(root.Ctx(), "bench.child")
+			c2 := tr.Start(c1.Ctx(), "bench.grandchild")
+			c2.End()
+			c1.End()
+			root.End()
+		}
+	})
+	b.Run("invoke-traced", func(b *testing.B) {
+		p := core.New(core.Options{})
+		p.Obs.Tracer().SetSampler(discard)
+		if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+			return in, nil
+		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Invoke("noop", nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke("noop", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLabeledCounter prices the tenant-labeled instrument path:
+// "resolved" is the steady state every wired subsystem uses (handle cached at
+// registration, Inc on the hot path), "with-inc" includes the interned-label
+// lookup for call sites that resolve per request, and "parallel" stresses the
+// resolved handle across goroutines the way concurrent tenants hit it.
+func BenchmarkLabeledCounter(b *testing.B) {
+	b.Run("resolved", func(b *testing.B) {
+		c := obs.New(nil).CounterVec("bench.requests", "tenant", "fn").With("acme", "resize")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("with-inc", func(b *testing.B) {
+		cv := obs.New(nil).CounterVec("bench.requests", "tenant", "fn")
+		cv.With("acme", "resize").Inc()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cv.With("acme", "resize").Inc()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		c := obs.New(nil).CounterVec("bench.requests", "tenant", "fn").With("acme", "resize")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+}

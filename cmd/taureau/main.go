@@ -19,8 +19,11 @@
 //	taureau -demo invoke -metrics                # metrics dump after the demo
 //	taureau -demo stream -metrics -format prom   # Prometheus text exposition
 //	taureau -demo pipeline -trace                # trace spans as a JSON list
+//	taureau -demo pipeline -trace -trace-top 5   # 5 slowest traces as span trees
+//	taureau -demo invoke -trace -trace-tenant demo   # one tenant's traces only
+//	taureau -demo burst -slo                     # per-tenant SLO burn-rate report
 //	taureau -demo stream -serve :9090            # keep serving /metrics + pprof
-//	taureau -demo burst -serve :9090             # … plus /autoscale state
+//	taureau -demo burst -serve :9090             # … plus /autoscale state and /slo
 //
 // Chaos:
 //
@@ -70,8 +73,11 @@ func main() {
 		list    = flag.Bool("list", false, "list demos and exit")
 		metrics = flag.Bool("metrics", false, "dump platform metrics after the demo")
 		format  = flag.String("format", "text", "metrics dump format: text, prom, or json")
-		trace   = flag.Bool("trace", false, "dump collected trace spans as JSON after the demo")
-		serve   = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace and pprof on this address (e.g. :9090)")
+		trace       = flag.Bool("trace", false, "dump collected trace spans as JSON after the demo")
+		traceTop    = flag.Int("trace-top", 0, "with -trace: print the N slowest traces (span trees, slowest first) instead of raw JSON")
+		traceTenant = flag.String("trace-tenant", "", "with -trace: only traces attributed to this tenant")
+		slo         = flag.Bool("slo", false, "print the per-tenant SLO burn-rate report after the demo")
+		serve       = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace, /slo and pprof on this address (e.g. :9090)")
 		seed    = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
 	)
 	flag.Parse()
@@ -133,14 +139,24 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *trace {
-		out, err := platform.Obs.Tracer().ExportJSON()
-		if err != nil {
+	if *trace || *traceTop > 0 || *traceTenant != "" {
+		fmt.Println()
+		if *traceTop > 0 || *traceTenant != "" {
+			printTraces(platform.Obs.Tracer(), *traceTop, *traceTenant)
+		} else {
+			out, err := platform.Obs.Tracer().ExportJSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			os.Stdout.Write(out)
+			fmt.Println()
+		}
+	}
+	if *slo {
+		fmt.Println()
+		if err := platform.Obs.SLO().WriteSLOText(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println()
-		os.Stdout.Write(out)
-		fmt.Println()
 	}
 	if *serve != "" {
 		fmt.Printf("\nserving /metrics, /metrics.json, /trace, /autoscale and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
@@ -422,6 +438,71 @@ func startChaos(p *core.Platform, clock simclock.Clock, seed int64) *chaos.Injec
 	fmt.Printf("chaos: seed %d, %d faults over 500ms\n\n", seed, len(filtered))
 	inj.Run(filtered)
 	return inj
+}
+
+// printTraces renders retained traces as indented span trees, slowest root
+// first — the -trace-top / -trace-tenant view. top <= 0 means "all".
+func printTraces(tr *obs.Tracer, top int, tenant string) {
+	traces := tr.Traces()
+	if tenant != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.Tenant == tenant {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Duration > traces[j].Duration })
+	if top > 0 && len(traces) > top {
+		traces = traces[:top]
+	}
+	if len(traces) == 0 {
+		fmt.Println("no matching traces")
+		return
+	}
+	for _, t := range traces {
+		errMark := ""
+		if t.Err {
+			errMark = "  ERR"
+		}
+		fmt.Printf("trace %016x  %-24s tenant=%-12s dur=%-12v spans=%d%s\n",
+			uint64(t.TraceID), t.Name, valueOr(t.Tenant, "-"), t.Duration, t.Spans, errMark)
+		spans := tr.TraceSpans(t.TraceID)
+		children := map[int64][]obs.SpanData{}
+		for _, sd := range spans {
+			children[sd.ParentID] = append(children[sd.ParentID], sd)
+		}
+		for pid := range children {
+			kids := children[pid]
+			sort.Slice(kids, func(i, j int) bool {
+				if !kids[i].Start.Equal(kids[j].Start) {
+					return kids[i].Start.Before(kids[j].Start)
+				}
+				return kids[i].Name < kids[j].Name
+			})
+		}
+		var walk func(id int64, depth int)
+		walk = func(id int64, depth int) {
+			for _, sd := range children[id] {
+				mark := ""
+				if sd.Err {
+					mark = "  ERR"
+				}
+				fmt.Printf("  %*s%-*s %v%s\n", 2*depth, "", 30-2*depth, sd.Name, sd.Duration, mark)
+				walk(sd.SpanID, depth+1)
+			}
+		}
+		// Roots are spans whose parent is not in this trace (ParentID 0).
+		walk(0, 0)
+	}
+}
+
+func valueOr(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
 }
 
 func tail(s []string) string {

@@ -144,6 +144,12 @@ type Ctx struct {
 	RequestID    int64
 	InstanceID   int64 // identity of the warm instance running this request
 	Attempt      int   // 1-based attempt number under async retry
+	// Trace is the handler span's causal context. Handlers thread it into
+	// downstream trace-aware APIs (pulsar SendTrace, jiffy Traced, nested
+	// InvokeTrace) so one request is one trace across subsystems. It is two
+	// int64s copied by value — safe to pass onward even though *Ctx itself
+	// is pooled and must not be retained.
+	Trace obs.TraceCtx
 
 	budget   time.Duration // remaining execution time
 	worked   time.Duration
@@ -212,6 +218,14 @@ type function struct {
 
 	brk      breaker    // armed when cfg.BreakerThreshold > 0
 	brkGauge *obs.Gauge // per-function breaker state; nil → no-op
+
+	// Tenant/function-labeled handles and the tenant SLO accumulator,
+	// resolved once at Register (nil no-ops without observability) so the
+	// invoke path never touches a label map.
+	lblInv  *obs.Counter
+	lblFail *obs.Counter
+	lblLat  *obs.Histogram
+	slo     *obs.TenantSLO
 
 	mu          sync.Mutex
 	idle        []*instance // LIFO: most recently used first
@@ -319,6 +333,11 @@ type Platform struct {
 	obsAdmWait     *obs.Histogram
 	obsPrewarmed   *obs.Counter
 	obsPlaceFail   *obs.Counter
+	obsTracer      *obs.Tracer
+	obsSLO         *obs.SLOEngine
+	obsInvVec      *obs.CounterVec
+	obsFailVec     *obs.CounterVec
+	obsLatVec      *obs.HistogramVec
 }
 
 // New creates an empty Platform. meter may be nil to disable billing.
@@ -353,6 +372,15 @@ func (p *Platform) SetObs(r *obs.Registry) {
 	p.obsAdmWait = r.Histogram("faas.admission.wait")
 	p.obsPrewarmed = r.Counter("faas.pool.prewarmed")
 	p.obsPlaceFail = r.Counter("faas.pool.placefail")
+	p.obsTracer = r.Tracer()
+	p.obsSLO = r.SLO()
+	p.obsInvVec = r.CounterVec("faas.tenant.invocations", "tenant", "function")
+	p.obsFailVec = r.CounterVec("faas.tenant.failures", "tenant", "function")
+	p.obsLatVec = r.HistogramVec("faas.tenant.latency", "tenant", "function")
+	r.SetHelp("faas.tenant.invocations", "Invocations that reached a handler, by tenant and function.")
+	r.SetHelp("faas.tenant.failures", "Handler failures and timeouts, by tenant and function.")
+	r.SetHelp("faas.tenant.latency", "End-to-end invoke latency, by tenant and function.")
+	r.SetHelp("faas.invoke.latency", "End-to-end invoke latency across all tenants.")
 }
 
 // Clock returns the platform's clock (handlers and triggers share it).
@@ -447,6 +475,10 @@ func (p *Platform) Register(name, tenant string, handler Handler, cfg Config) er
 	if fn.cfg.BreakerThreshold > 0 {
 		fn.brkGauge = p.obsReg.Gauge("faas.breaker.state." + name)
 	}
+	fn.lblInv = p.obsInvVec.With(tenant, name)
+	fn.lblFail = p.obsFailVec.With(tenant, name)
+	fn.lblLat = p.obsLatVec.With(tenant, name)
+	fn.slo = p.obsSLO.Tenant(tenant)
 	p.functions[key] = fn
 	if _, taken := p.bare[name]; taken {
 		p.bare[name] = nil // second tenant deployed the name: now ambiguous
@@ -542,19 +574,32 @@ type Result struct {
 	RequestID int64
 	Attempt   int           // 1-based attempt that produced this result
 	RetryWait time.Duration // total backoff slept before this attempt
+	TraceID   int64         // causal trace covering this invocation (0 = untraced)
 }
 
 // Invoke runs a function synchronously and returns its result. The calling
 // goroutine pays the start latency and execution time on the platform clock.
 func (p *Platform) Invoke(name string, payload []byte) (Result, error) {
-	return p.invoke(name, payload, 1)
+	return p.invoke(name, payload, 1, obs.TraceCtx{})
+}
+
+// InvokeTrace is Invoke with an inbound causal context: a zero tc roots a
+// new trace at this invocation; a valid tc (an orchestrate step, a consuming
+// function's handler span) attaches the invocation to the caller's trace.
+func (p *Platform) InvokeTrace(name string, payload []byte, tc obs.TraceCtx) (Result, error) {
+	return p.invoke(name, payload, 1, tc)
 }
 
 // InvokeFor runs tenant's function name synchronously, resolving only within
 // that tenant's namespace: another tenant's function of the same name is
 // indistinguishable from an unregistered one.
 func (p *Platform) InvokeFor(tenant, name string, payload []byte) (Result, error) {
-	return p.invoke(qualifiedKey(tenant, name), payload, 1)
+	return p.invoke(qualifiedKey(tenant, name), payload, 1, obs.TraceCtx{})
+}
+
+// InvokeForTrace is InvokeFor with an inbound causal context.
+func (p *Platform) InvokeForTrace(tenant, name string, payload []byte, tc obs.TraceCtx) (Result, error) {
+	return p.invoke(qualifiedKey(tenant, name), payload, 1, tc)
 }
 
 // InvokeAsyncFor is InvokeAsync resolved within tenant's namespace.
@@ -562,7 +607,7 @@ func (p *Platform) InvokeAsyncFor(tenant, name string, payload []byte, done func
 	p.InvokeAsync(qualifiedKey(tenant, name), payload, done)
 }
 
-func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, error) {
+func (p *Platform) invoke(name string, payload []byte, attempt int, parent obs.TraceCtx) (Result, error) {
 	p.mu.RLock()
 	fn, err := p.lookupLocked(name)
 	adm := p.adm
@@ -572,7 +617,14 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	}
 	reqID := p.nextReq.Add(1)
 
+	// The invoke span roots a new trace (zero parent) or joins the caller's
+	// (orchestrate step, async retry wrapper, nested invocation). It covers
+	// admission, the breaker gate, queuing, and the handler, so shed and
+	// fast-failed requests still yield a (failed) trace.
+	span := p.obsTracer.Start(parent, "faas.invoke")
+
 	if len(payload) > fn.cfg.MaxPayload {
+		span.EndLabeled(fn.tenant, fn.name, true)
 		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
 	}
 
@@ -582,7 +634,8 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		fn.mu.Lock()
 		fn.throttles++
 		fn.mu.Unlock()
-		return Result{RequestID: reqID, Attempt: attempt}, err
+		span.EndLabeled(fn.tenant, fn.name, true)
+		return Result{RequestID: reqID, Attempt: attempt, TraceID: span.TraceID()}, err
 	}
 
 	// Circuit-breaker gate: an open breaker sheds the request here, before
@@ -595,7 +648,8 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		ok, probe = fn.brk.allow(p.clock.Now(), fn.cfg.BreakerCooldown)
 		if !ok {
 			p.obsBreakerFast.Inc()
-			return Result{RequestID: reqID, Attempt: attempt}, fmt.Errorf("%w: %q", ErrCircuitOpen, name)
+			span.EndLabeled(fn.tenant, fn.name, true)
+			return Result{RequestID: reqID, Attempt: attempt, TraceID: span.TraceID()}, fmt.Errorf("%w: %q", ErrCircuitOpen, name)
 		}
 		if probe {
 			fn.brkGauge.Set(breakerHalfOpen.gaugeValue())
@@ -603,6 +657,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	}
 
 	start := p.clock.Now()
+	qspan := p.obsTracer.Start(span.Ctx(), "faas.queue")
 
 	// Acquire an instance: reuse a live warm one or reserve a cold slot.
 	// The reservation (running++) happens under fn.mu so MaxConcurrency
@@ -623,7 +678,9 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			if gated {
 				p.recordBreaker(fn, outcomeAborted, probe)
 			}
-			return Result{}, fmt.Errorf("%w: %q at %d", ErrThrottled, name, fn.cfg.MaxConcurrency)
+			qspan.EndErr(true)
+			span.EndLabeled(fn.tenant, fn.name, true)
+			return Result{TraceID: span.TraceID()}, fmt.Errorf("%w: %q at %d", ErrThrottled, name, fn.cfg.MaxConcurrency)
 		}
 		fn.nextInst++
 		inst = &instance{id: fn.nextInst}
@@ -649,11 +706,13 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 			if gated {
 				p.recordBreaker(fn, outcomeAborted, probe)
 			}
+			qspan.EndErr(true)
+			span.EndLabeled(fn.tenant, fn.name, true)
 			if fn.cfg.ColdStartBudget > 0 {
-				return Result{}, fmt.Errorf("%w: %q after %v: %v",
+				return Result{TraceID: span.TraceID()}, fmt.Errorf("%w: %q after %v: %v",
 					ErrColdStartTimeout, name, fn.cfg.ColdStartBudget, err)
 			}
-			return Result{}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
+			return Result{TraceID: span.TraceID()}, fmt.Errorf("%w: %q: %v", ErrThrottled, name, err)
 		}
 	}
 
@@ -667,10 +726,14 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 	}
 	execStart := p.clock.Now()
 	p.obsQueueWait.Observe(execStart.Sub(start))
+	qspan.End()
 
 	// Execute with the time-limit budget. The invocation record comes from
 	// the request pool; it is recycled (zeroed) as soon as the handler's
 	// outcome has been read out, which is why handlers must not retain *Ctx.
+	// The handler span's context rides in the pooled Ctx by value, so the
+	// recycle cannot corrupt a trace the handler already propagated.
+	hspan := p.obsTracer.Start(span.Ctx(), "faas.handler")
 	req := getRequest()
 	ctx := &req.ctx
 	*ctx = Ctx{
@@ -680,6 +743,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		RequestID:    reqID,
 		InstanceID:   inst.id,
 		Attempt:      attempt,
+		Trace:        hspan.Ctx(),
 		budget:       fn.cfg.Timeout,
 		slowdown:     p.slowdownFor(fn, inst),
 	}
@@ -691,10 +755,17 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		err = fmt.Errorf("%w: %q after %v", ErrTimeout, name, fn.cfg.Timeout)
 		out = nil
 	}
+	hspan.EndErr(err != nil)
 
 	end := p.clock.Now()
 	p.obsHandlerLat.Observe(end.Sub(execStart))
-	p.obsInvokeLat.Observe(end.Sub(start))
+	p.obsInvokeLat.ObserveTrace(end.Sub(start), span.TraceID())
+	fn.lblInv.Inc()
+	if err != nil {
+		fn.lblFail.Inc()
+	}
+	fn.lblLat.ObserveTrace(end.Sub(start), span.TraceID())
+	fn.slo.Record(end.Sub(start), err != nil)
 	if execDur == 0 {
 		// Handlers that do no modelled work still bill a minimum granule.
 		execDur = time.Millisecond
@@ -734,6 +805,8 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		p.recordBreaker(fn, out, probe)
 	}
 
+	span.EndLabeled(fn.tenant, fn.name, err != nil)
+
 	res := Result{
 		Output:    out,
 		Cold:      cold,
@@ -741,6 +814,7 @@ func (p *Platform) invoke(name string, payload []byte, attempt int) (Result, err
 		Billed:    billing.BilledDuration(execDur),
 		RequestID: reqID,
 		Attempt:   attempt,
+		TraceID:   span.TraceID(),
 	}
 	return res, err
 }
@@ -766,6 +840,10 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 		if lookupErr == nil {
 			retries = fn.cfg.MaxRetries
 		}
+		// One async submission is one trace: the wrapper span roots it, each
+		// execution attempt and each backoff sleep is a child, so a trace of
+		// a retried request shows attempt 1 failing, the wait, attempt 2...
+		root := p.obsTracer.Start(obs.TraceCtx{}, "faas.invoke.async")
 		var res Result
 		var err error
 		var waited time.Duration
@@ -773,11 +851,13 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 		for attempt := 1; attempt <= retries+1; attempt++ {
 			if attempt > 1 {
 				d := p.jittered(backoff, asyncJitter)
+				wspan := p.obsTracer.Start(root.Ctx(), "faas.retry.backoff")
 				p.clock.Sleep(d)
+				wspan.End()
 				waited += d
 				backoff *= 2
 			}
-			res, err = p.invoke(name, payload, attempt)
+			res, err = p.invoke(name, payload, attempt, root.Ctx())
 			res.Attempt = attempt
 			res.RetryWait = waited
 			if err == nil {
@@ -792,6 +872,14 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 			}
 		}
 		p.obsRetryWait.Observe(waited)
+		if root.Active() {
+			res.TraceID = root.TraceID()
+		}
+		if fn != nil {
+			root.EndLabeled(fn.tenant, fn.name, err != nil)
+		} else {
+			root.EndErr(true)
+		}
 		if done != nil {
 			done(res, err)
 		}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the platform's sync-invoke resilience plane: a per-function
@@ -213,16 +215,21 @@ func (p *Platform) jittered(d time.Duration, frac float64) time.Duration {
 // backoff slept.
 func (p *Platform) InvokeWithRetry(name string, payload []byte, pol RetryPolicy) (Result, error) {
 	pol = pol.withDefaults()
+	// All attempts share one trace under a retry-wrapper root, mirroring
+	// InvokeAsync: a retried request reads as one causal story, not N.
+	root := p.obsTracer.Start(obs.TraceCtx{}, "faas.invoke.retry")
 	var res Result
 	var err error
 	var waited time.Duration
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			d := p.jittered(pol.backoffFor(attempt), pol.Jitter)
+			wspan := p.obsTracer.Start(root.Ctx(), "faas.retry.backoff")
 			p.clock.Sleep(d)
+			wspan.End()
 			waited += d
 		}
-		res, err = p.invoke(name, payload, attempt)
+		res, err = p.invoke(name, payload, attempt, root.Ctx())
 		res.Attempt = attempt
 		res.RetryWait = waited
 		if err == nil || !retryable(err) {
@@ -230,6 +237,10 @@ func (p *Platform) InvokeWithRetry(name string, payload []byte, pol RetryPolicy)
 		}
 	}
 	p.obsRetryWait.Observe(waited)
+	if root.Active() {
+		res.TraceID = root.TraceID()
+	}
+	root.EndErr(err != nil)
 	return res, err
 }
 

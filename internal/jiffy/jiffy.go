@@ -269,10 +269,12 @@ type Controller struct {
 	obsRecoveries   *obs.Counter
 	obsBlocksLost   *obs.Counter
 	obsRecoveryTime *obs.Histogram
+	tracer          *obs.Tracer
 }
 
 // SetObs attaches observability instruments. Call before traffic starts.
 func (c *Controller) SetObs(r *obs.Registry) {
+	c.tracer = r.Tracer()
 	c.obsAlloc = r.Counter("jiffy.block.alloc")
 	c.obsFree = r.Counter("jiffy.block.free")
 	c.obsLeaseExp = r.Counter("jiffy.lease.expired")

@@ -226,10 +226,12 @@ type System struct {
 	obsRecoveryTime *obs.Histogram
 	obsReplacements *obs.Counter
 	obsReplicated   *obs.Counter
+	tracer          *obs.Tracer
 }
 
 // SetObs attaches observability instruments. Call before traffic starts.
 func (s *System) SetObs(r *obs.Registry) {
+	s.tracer = r.Tracer()
 	s.obsAppends = r.Counter("ledger.append.entries")
 	s.obsAppendLat = r.Histogram("ledger.append.latency")
 	s.obsFanIn = r.ValueHistogram("ledger.append.batch.fanin")
@@ -319,8 +321,20 @@ func (w *Writer) ID() int64 { return w.ledgerID }
 // ackQuorum bookies have it. The writer retains data without copying (see
 // the Bookie immutability contract): do not mutate it after the call.
 func (w *Writer) Append(data []byte) (int64, error) {
+	return w.AppendCtx(data, obs.TraceCtx{})
+}
+
+// AppendCtx is Append carrying the caller's causal context: a valid tc adds
+// a "ledger.append" span (covering the durability round trip and quorum
+// replication) to the caller's trace. A zero tc traces nothing — untraced
+// appends cost one branch, not a span.
+func (w *Writer) AppendCtx(data []byte, tc obs.TraceCtx) (int64, error) {
 	if w.closed {
 		return 0, ErrWriterClosed
+	}
+	var span obs.SpanRef
+	if tc.Valid() {
+		span = w.sys.tracer.Start(tc, "ledger.append")
 	}
 	var start time.Time
 	if w.sys.obsAppendLat != nil {
@@ -329,6 +343,7 @@ func (w *Writer) Append(data []byte) (int64, error) {
 	w.sys.clock.Sleep(w.sys.AppendLatency + w.stragglerExtra())
 	entryID := w.next
 	if err := w.replicate(entryID, data); err != nil {
+		span.EndErr(true)
 		return 0, err
 	}
 	w.next++
@@ -337,6 +352,7 @@ func (w *Writer) Append(data []byte) (int64, error) {
 	if !start.IsZero() {
 		w.sys.obsAppendLat.Observe(w.sys.clock.Now().Sub(start))
 	}
+	span.End()
 	return entryID, nil
 }
 
@@ -350,12 +366,24 @@ func (w *Writer) Append(data []byte) (int64, error) {
 // must treat the whole batch as failed and rely on recovery semantics, as
 // the broker does). Entries are retained without copying, like Append.
 func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
+	return w.AppendBatchCtx(entries, obs.TraceCtx{})
+}
+
+// AppendBatchCtx is AppendBatch carrying a causal context for the group
+// commit. Batches aggregate entries from many requests, so the span is
+// coarse: it parents on tc (by convention the first traced entry in the
+// batch) and annotates nothing per-entry.
+func (w *Writer) AppendBatchCtx(entries [][]byte, tc obs.TraceCtx) (int64, error) {
 	if w.closed {
 		return 0, ErrWriterClosed
 	}
 	first := w.next
 	if len(entries) == 0 {
 		return first, nil
+	}
+	var span obs.SpanRef
+	if tc.Valid() {
+		span = w.sys.tracer.Start(tc, "ledger.append.batch")
 	}
 	var start time.Time
 	if w.sys.obsAppendLat != nil {
@@ -364,6 +392,7 @@ func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
 	w.sys.clock.Sleep(w.sys.AppendLatency + w.stragglerExtra())
 	for _, data := range entries {
 		if err := w.replicate(w.next, data); err != nil {
+			span.EndErr(true)
 			return first, err
 		}
 		w.next++
@@ -373,6 +402,7 @@ func (w *Writer) AppendBatch(entries [][]byte) (int64, error) {
 	if !start.IsZero() {
 		w.sys.obsAppendLat.Observe(w.sys.clock.Now().Sub(start))
 	}
+	span.End()
 	return first, nil
 }
 

@@ -1,0 +1,315 @@
+package obs
+
+// PR7 unit coverage: labeled vec cardinality and overflow folding, tail-
+// sampler determinism, SLO burn-rate math on the virtual clock, histogram
+// exemplars, and the Prometheus exposition golden file.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterVecCardinalityCap(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	r := New(v)
+	cv := r.CounterVec("api.requests", "tenant")
+	cv.SetMaxSeries(3)
+	for i := 0; i < 10; i++ {
+		cv.With(fmt.Sprintf("t%d", i)).Inc()
+	}
+	// Interned series keep their identity; the overflow series absorbs the
+	// other seven.
+	cv.With("t0").Inc()
+	snap := r.Snapshot()
+	var seen []string
+	var otherVal, t0Val int64
+	for _, c := range snap.Counters {
+		if c.Name != "api.requests" {
+			continue
+		}
+		val := c.Labels[0].Value
+		seen = append(seen, val)
+		switch val {
+		case OverflowLabel:
+			otherVal = c.Value
+		case "t0":
+			t0Val = c.Value
+		}
+	}
+	if len(seen) != 4 { // t0, t1, t2 + __other__
+		t.Fatalf("got series %v, want 3 interned + overflow", seen)
+	}
+	if !sort.StringsAreSorted(seen) {
+		t.Fatalf("series must export in sorted order, got %v", seen)
+	}
+	if otherVal != 7 {
+		t.Fatalf("__other__ = %d, want 7", otherVal)
+	}
+	if t0Val != 2 {
+		t.Fatalf("t0 = %d, want 2", t0Val)
+	}
+	// Wrong arity folds into overflow instead of panicking.
+	cv.With("a", "b").Inc()
+	if got := cv.With("nope", "extra"); got != cv.With("also", "wrong", "arity") {
+		t.Fatal("wrong-arity calls must share the overflow counter")
+	}
+}
+
+func TestVecConcurrentAccess(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	r := New(v)
+	cv := r.CounterVec("stress.counter", "tenant", "fn")
+	hv := r.HistogramVec("stress.latency", "tenant")
+	cv.SetMaxSeries(8)
+	hv.SetMaxSeries(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With(fmt.Sprintf("tenant-%d", (g+i)%16), "fn").Inc()
+				hv.With(fmt.Sprintf("tenant-%d", i%16)).Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range r.Snapshot().Counters {
+		if c.Name == "stress.counter" {
+			total += c.Value
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("counted %d increments across series, want %d", total, 8*500)
+	}
+}
+
+func TestTailSamplerDeterministic(t *testing.T) {
+	run := func() ([]string, TracerStats) {
+		v := simclock.NewVirtual()
+		defer v.Close()
+		r := New(v)
+		tr := r.Tracer()
+		tr.SetSampler(SamplerConfig{Seed: 42, KeepFraction: 0.4, SlowThreshold: 50 * time.Millisecond})
+		v.Run(func() {
+			for i := 0; i < 100; i++ {
+				root := tr.Start(TraceCtx{}, fmt.Sprintf("req-%d", i))
+				v.Sleep(time.Millisecond)
+				root.End()
+			}
+			// One failed and one slow trace: always kept, whatever the dice say.
+			failed := tr.Start(TraceCtx{}, "req-failed")
+			failed.EndErr(true)
+			slow := tr.Start(TraceCtx{}, "req-slow")
+			v.Sleep(time.Second)
+			slow.End()
+		})
+		var kept []string
+		for _, s := range tr.Traces() {
+			kept = append(kept, s.Name)
+		}
+		return kept, tr.Stats()
+	}
+	kept1, st1 := run()
+	kept2, st2 := run()
+	if strings.Join(kept1, ",") != strings.Join(kept2, ",") {
+		t.Fatalf("kept sets differ across identical runs:\n%v\n%v", kept1, kept2)
+	}
+	if st1.KeptTraces != st2.KeptTraces || st1.DiscardedTraces != st2.DiscardedTraces {
+		t.Fatalf("sampler stats differ: %+v vs %+v", st1, st2)
+	}
+	if st1.DiscardedTraces == 0 || st1.KeptTraces == int64(len(kept1)) && st1.DiscardedTraces == 0 {
+		t.Fatalf("KeepFraction 0.4 discarded nothing: %+v", st1)
+	}
+	has := func(name string) bool {
+		for _, k := range kept1 {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("req-failed") {
+		t.Fatal("failed trace was sampled out; errors must always be kept")
+	}
+	if !has("req-slow") {
+		t.Fatal("slow trace was sampled out; tail latencies must always be kept")
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	r := New(v)
+	eng := r.SLO()
+	eng.SetObjective("acme", SLOConfig{Objective: 0.999, LatencyTarget: 100 * time.Millisecond, LatencyObjective: 0.99})
+	s := eng.Tenant("acme")
+	v.Run(func() {
+		// 2% error rate against a 0.1% budget → burn 20 in every window →
+		// page (fast pair ≥ 14.4) and ticket (slow pair ≥ 3.0).
+		for i := 0; i < 1000; i++ {
+			s.Record(10*time.Millisecond, i%50 == 0)
+		}
+	})
+	snaps := eng.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d tenants, want 1", len(snaps))
+	}
+	snap := snaps[0]
+	if len(snap.Windows) != len(BurnWindows) {
+		t.Fatalf("got %d windows, want %d", len(snap.Windows), len(BurnWindows))
+	}
+	for _, w := range snap.Windows {
+		if w.Total != 1000 || w.Errors != 20 {
+			t.Fatalf("window %v: total=%d errors=%d, want 1000/20", w.Window, w.Total, w.Errors)
+		}
+		if w.ErrorBurn < 19.9 || w.ErrorBurn > 20.1 {
+			t.Fatalf("window %v: error burn %.2f, want ~20", w.Window, w.ErrorBurn)
+		}
+		if w.LatencyBurn != 0 {
+			t.Fatalf("window %v: latency burn %.2f, want 0 (all requests fast)", w.Window, w.LatencyBurn)
+		}
+	}
+	if !snap.ErrorPage || !snap.ErrorTicket {
+		t.Fatalf("burn 20 must page and ticket: %+v", snap)
+	}
+	if snap.LatencyPage || snap.LatencyTicket {
+		t.Fatalf("latency alerts must stay clear: %+v", snap)
+	}
+
+	// 6h+ later every bucket has aged out of all windows.
+	v.Run(func() { v.Sleep(sloMaxWindow + time.Minute) })
+	for _, w := range eng.Snapshot()[0].Windows {
+		if w.Total != 0 {
+			t.Fatalf("window %v still holds %d requests after ring aged out", w.Window, w.Total)
+		}
+	}
+
+	// Slow-but-successful traffic trips the latency objective only.
+	v.Run(func() {
+		for i := 0; i < 1000; i++ {
+			s.Record(500*time.Millisecond, false) // > 100ms target, 1% budget → burn 100
+		}
+	})
+	snap = eng.Snapshot()[0]
+	if !snap.LatencyPage || !snap.LatencyTicket {
+		t.Fatalf("all-slow traffic must trip latency alerts: %+v", snap)
+	}
+	if snap.ErrorPage || snap.ErrorTicket {
+		t.Fatalf("error alerts must stay clear on successful traffic: %+v", snap)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	r := New(v)
+	h := r.Histogram("api.latency")
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	// The slow tail (10% of samples) owns the p95/p99 buckets, so its last
+	// trace id surfaces as the exemplar.
+	for i := 0; i < 10; i++ {
+		h.ObserveTrace(2*time.Second, 7777)
+	}
+	snap := r.Snapshot()
+	var found bool
+	for _, hs := range snap.Histograms {
+		if hs.Name != "api.latency" {
+			continue
+		}
+		found = true
+		if hs.ExemplarP99 != 7777 {
+			t.Fatalf("ExemplarP99 = %d, want 7777", hs.ExemplarP99)
+		}
+	}
+	if !found {
+		t.Fatal("api.latency missing from snapshot")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p99_trace=7777") {
+		t.Fatalf("text dump missing exemplar link:\n%s", buf.String())
+	}
+}
+
+// TestPrometheusGolden pins the exposition format byte-for-byte: header
+// dedup per family, labeled series in sorted order, escaped label values and
+// help strings, summaries with quantile/_sum/_count. Regenerate with
+// `go test ./internal/obs -run TestPrometheusGolden -update` after an
+// intentional format change.
+func TestPrometheusGolden(t *testing.T) {
+	v := simclock.NewVirtual()
+	defer v.Close()
+	r := New(v)
+
+	r.SetHelp("api.requests", "Requests per tenant.\nSecond line with a \\ backslash.")
+	cv := r.CounterVec("api.requests", "tenant", "function")
+	cv.With("acme", "resize").Add(3)
+	cv.With(`quo"ted`, "fn\\path").Inc()
+	cv.With("multi\nline", "f").Inc()
+
+	r.SetHelp("build.info", "Static build marker.")
+	r.Counter("build.info").Inc()
+	r.Gauge("pool.size").Set(4)
+
+	r.SetHelp("api.latency", "Request latency.")
+	hv := r.HistogramVec("api.latency", "tenant")
+	for i := 0; i < 100; i++ {
+		hv.With("acme").Observe(5 * time.Millisecond)
+	}
+	hv.With("acme").Observe(400 * time.Millisecond)
+	r.ValueHistogram("batch.size").ObserveValue(8)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prometheus exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Spot-check the load-bearing escapes so a stale golden can't hide them.
+	out := buf.String()
+	for _, needle := range []string{
+		`tenant="quo\"ted"`,
+		`function="fn\\path"`,
+		`tenant="multi\nline"`,
+		`Second line with a \\ backslash.`,
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("exposition missing escape %q:\n%s", needle, out)
+		}
+	}
+}

@@ -155,26 +155,43 @@ func bucketUpper(idx int) int64 {
 // batch sizes. Snapshots expose count, sum, and p50/p95/p99.
 type Histogram struct {
 	buckets [maxBucket + 1]int64
-	count   int64
-	sum     int64 // nanoseconds (or raw units for value histograms)
-	max     int64
-	value   bool // set once at creation: observations are unitless counts
+	// exemplars holds the most recent trace id observed per bucket (0 =
+	// none), so a slow percentile bucket links to a concrete trace.
+	exemplars [maxBucket + 1]int64
+	count     int64
+	sum       int64 // nanoseconds (or raw units for value histograms)
+	max       int64
+	value     bool // set once at creation: observations are unitless counts
 }
 
 // Observe records one duration. No-op on nil.
 func (h *Histogram) Observe(d time.Duration) {
-	h.ObserveValue(int64(d))
+	h.observe(int64(d), 0)
+}
+
+// ObserveTrace records one duration and attaches traceID as the bucket's
+// exemplar (ignored when 0). No-op on nil.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID int64) {
+	h.observe(int64(d), traceID)
 }
 
 // ObserveValue records one raw observation (e.g. a batch size). No-op on nil.
 func (h *Histogram) ObserveValue(ns int64) {
+	h.observe(ns, 0)
+}
+
+func (h *Histogram) observe(ns, traceID int64) {
 	if h == nil {
 		return
 	}
 	if ns < 0 {
 		ns = 0
 	}
-	atomic.AddInt64(&h.buckets[bucketOf(ns)], 1)
+	b := bucketOf(ns)
+	atomic.AddInt64(&h.buckets[b], 1)
+	if traceID != 0 {
+		atomic.StoreInt64(&h.exemplars[b], traceID)
+	}
 	atomic.AddInt64(&h.count, 1)
 	atomic.AddInt64(&h.sum, ns)
 	for {
@@ -185,15 +202,19 @@ func (h *Histogram) ObserveValue(ns int64) {
 	}
 }
 
-// HistogramSnapshot is a point-in-time view of a Histogram.
+// HistogramSnapshot is a point-in-time view of a Histogram. ExemplarP95 and
+// ExemplarP99 are trace ids observed in the p95/p99 buckets (0 = none) —
+// the hook for "this slow bucket, show me a trace".
 type HistogramSnapshot struct {
-	Count int64         `json:"count"`
-	Sum   time.Duration `json:"sum_ns"`
-	Mean  time.Duration `json:"mean_ns"`
-	P50   time.Duration `json:"p50_ns"`
-	P95   time.Duration `json:"p95_ns"`
-	P99   time.Duration `json:"p99_ns"`
-	Max   time.Duration `json:"max_ns"`
+	Count       int64         `json:"count"`
+	Sum         time.Duration `json:"sum_ns"`
+	Mean        time.Duration `json:"mean_ns"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Max         time.Duration `json:"max_ns"`
+	ExemplarP95 int64         `json:"exemplar_p95,omitempty"`
+	ExemplarP99 int64         `json:"exemplar_p99,omitempty"`
 }
 
 // Snapshot computes the histogram's current percentiles. Zero value on nil.
@@ -216,7 +237,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return snap
 	}
 	snap.Mean = snap.Sum / time.Duration(total)
-	quantile := func(q float64) time.Duration {
+	quantile := func(q float64) (time.Duration, int) {
 		// rank is 1-based: the ceil(q*total)-th smallest observation.
 		rank := int64(math.Ceil(q * float64(total)))
 		if rank < 1 {
@@ -228,16 +249,19 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			if seen >= rank {
 				up := bucketUpper(i)
 				if time.Duration(up) > snap.Max {
-					return snap.Max
+					return snap.Max, i
 				}
-				return time.Duration(up)
+				return time.Duration(up), i
 			}
 		}
-		return snap.Max
+		return snap.Max, maxBucket
 	}
-	snap.P50 = quantile(0.50)
-	snap.P95 = quantile(0.95)
-	snap.P99 = quantile(0.99)
+	var b95, b99 int
+	snap.P50, _ = quantile(0.50)
+	snap.P95, b95 = quantile(0.95)
+	snap.P99, b99 = quantile(0.99)
+	snap.ExemplarP95 = atomic.LoadInt64(&h.exemplars[b95])
+	snap.ExemplarP99 = atomic.LoadInt64(&h.exemplars[b99])
 	return snap
 }
 
@@ -251,6 +275,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	hvecs    map[string]*HistogramVec
+	help     map[string]string
+	slo      *SLOEngine
 
 	tracer *Tracer
 }
@@ -266,6 +294,9 @@ func New(clock simclock.Clock) *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		cvecs:    map[string]*CounterVec{},
+		hvecs:    map[string]*HistogramVec{},
+		help:     map[string]string{},
 		tracer:   newTracer(clock),
 	}
 }
@@ -342,6 +373,80 @@ func (r *Registry) histogram(name string, value bool) *Histogram {
 	return h
 }
 
+// CounterVec returns (creating if needed) the named labeled counter family.
+// Label keys are fixed at first creation; a later call with different keys
+// returns the existing vec (keys are a schema, not per-call data). Nil-safe.
+func (r *Registry) CounterVec(name string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.cvecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.cvecs[name]; v == nil {
+		v = &CounterVec{core: newVecCore(name, append([]string(nil), labelKeys...)), counters: map[string]*Counter{}}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns (creating if needed) the named labeled latency
+// histogram family. Nil-safe.
+func (r *Registry) HistogramVec(name string, labelKeys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.hvecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.hvecs[name]; v == nil {
+		v = &HistogramVec{core: newVecCore(name, append([]string(nil), labelKeys...)), hists: map[string]*Histogram{}}
+		r.hvecs[name] = v
+	}
+	return v
+}
+
+// SetHelp attaches a help string to a metric name; exporters emit it as
+// `# HELP` (escaped). Nil-safe.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// SLO returns the registry's per-tenant SLO engine, creating it on first
+// use. Nil registry → nil engine, whose methods no-op.
+func (r *Registry) SLO() *SLOEngine {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	e := r.slo
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.slo == nil {
+		r.slo = newSLOEngine(r.clock)
+	}
+	return r.slo
+}
+
 // Tracer returns the registry's tracer (nil on a nil registry).
 func (r *Registry) Tracer() *Tracer {
 	if r == nil {
@@ -358,17 +463,20 @@ func (r *Registry) Clock() simclock.Clock {
 	return r.clock
 }
 
-// Snapshot is a point-in-time view of every instrument, sorted by name.
+// Snapshot is a point-in-time view of every instrument, sorted by name
+// (then by label values for labeled series).
 type Snapshot struct {
-	Counters   []CounterSnapshot   `json:"counters"`
-	Gauges     []GaugeSnapshot     `json:"gauges"`
-	Histograms []NamedHistogram    `json:"histograms"`
+	Counters   []CounterSnapshot `json:"counters"`
+	Gauges     []GaugeSnapshot   `json:"gauges"`
+	Histograms []NamedHistogram  `json:"histograms"`
+	SLOs       []SLOSnapshot     `json:"slos,omitempty"`
 }
 
-// CounterSnapshot is one counter's value.
+// CounterSnapshot is one counter's value. Labels is nil for plain counters.
 type CounterSnapshot struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
 }
 
 // GaugeSnapshot is one gauge's value.
@@ -378,11 +486,23 @@ type GaugeSnapshot struct {
 }
 
 // NamedHistogram is one histogram's snapshot. Unit is "ns" for latency
-// histograms and "count" for value histograms.
+// histograms and "count" for value histograms. Labels is nil for plain
+// histograms.
 type NamedHistogram struct {
-	Name string `json:"name"`
-	Unit string `json:"unit"`
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	Labels []Label `json:"labels,omitempty"`
 	HistogramSnapshot
+}
+
+// labelsLess orders label sets lexicographically by value sequence.
+func labelsLess(a, b []Label) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
 }
 
 // Snapshot captures every instrument. Empty snapshot on nil.
@@ -403,11 +523,23 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	cvecs := make([]*CounterVec, 0, len(r.cvecs))
+	for _, v := range r.cvecs {
+		cvecs = append(cvecs, v)
+	}
+	hvecs := make([]*HistogramVec, 0, len(r.hvecs))
+	for _, v := range r.hvecs {
+		hvecs = append(hvecs, v)
+	}
+	slo := r.slo
 	r.mu.RUnlock()
 
 	var snap Snapshot
 	for name, c := range counters {
 		snap.Counters = append(snap.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for _, v := range cvecs {
+		snap.Counters = v.snapshot(snap.Counters)
 	}
 	for name, g := range gauges {
 		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
@@ -419,10 +551,34 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		snap.Histograms = append(snap.Histograms, NamedHistogram{Name: name, Unit: unit, HistogramSnapshot: h.Snapshot()})
 	}
-	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	for _, v := range hvecs {
+		snap.Histograms = v.snapshot(snap.Histograms)
+	}
+	snap.SLOs = slo.Snapshot()
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		if snap.Counters[i].Name != snap.Counters[j].Name {
+			return snap.Counters[i].Name < snap.Counters[j].Name
+		}
+		return labelsLess(snap.Counters[i].Labels, snap.Counters[j].Labels)
+	})
 	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
-	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		if snap.Histograms[i].Name != snap.Histograms[j].Name {
+			return snap.Histograms[i].Name < snap.Histograms[j].Name
+		}
+		return labelsLess(snap.Histograms[i].Labels, snap.Histograms[j].Labels)
+	})
 	return snap
+}
+
+// HelpFor returns the registered help string for a metric ("" if none).
+func (r *Registry) HelpFor(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // CounterValue is a convenience lookup (0 if absent or nil registry).

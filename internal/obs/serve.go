@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
@@ -10,6 +11,8 @@ import (
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot
 //	/trace         finished spans as a JSON array
+//	/slo           per-tenant SLO burn-rate report (text)
+//	/slo.json      the same, as JSON
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // It is safe to call on a nil registry (every route serves empty data), so a
@@ -34,6 +37,27 @@ func (r *Registry) Handler(extra ...Route) http.Handler {
 			return
 		}
 		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r == nil {
+			_, _ = w.Write([]byte("no tenants with recorded traffic\n"))
+			return
+		}
+		_ = r.SLO().WriteSLOText(w)
+	})
+	mux.HandleFunc("/slo.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snaps []SLOSnapshot
+		if r != nil {
+			snaps = r.SLO().Snapshot()
+		}
+		if snaps == nil {
+			snaps = []SLOSnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snaps)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// The SLO engine keeps per-tenant windowed rollups on the platform clock and
+// evaluates multi-window burn rates, Google-SRE style: a fast pair (5m + 1h)
+// that pages, and a slow pair (30m + 6h) that tickets. Burn rate is the
+// fraction of the error budget consumed relative to the rate that would
+// exactly exhaust it over the objective period: burn 1.0 = on budget, burn
+// 14.4 = the whole 30-day budget gone in 2 days.
+const (
+	sloBucket      = 30 * time.Second // rollup resolution
+	sloRingLen     = 721              // 6h of buckets plus the in-progress one
+	sloMaxWindow   = 6 * time.Hour
+	PageBurnRate   = 14.4 // both fast windows at/above this → page
+	TicketBurnRate = 3.0  // both slow windows at/above this → ticket
+)
+
+// BurnWindows lists the evaluated windows, fast pair first.
+var BurnWindows = []time.Duration{5 * time.Minute, time.Hour, 30 * time.Minute, sloMaxWindow}
+
+// SLOConfig is one tenant's objectives.
+type SLOConfig struct {
+	Objective        float64       `json:"objective"`         // availability target, e.g. 0.999
+	LatencyTarget    time.Duration `json:"latency_target_ns"` // requests slower than this are "slow"
+	LatencyObjective float64       `json:"latency_objective"` // fraction that must be fast, e.g. 0.99
+}
+
+// DefaultSLOConfig is applied to tenants without an explicit objective.
+var DefaultSLOConfig = SLOConfig{
+	Objective:        0.999,
+	LatencyTarget:    500 * time.Millisecond,
+	LatencyObjective: 0.99,
+}
+
+type sloCell struct {
+	epoch int64 // bucket epoch (now / sloBucket); stale cells are lazily reset
+	total int64
+	errs  int64
+	slow  int64
+}
+
+// TenantSLO accumulates one tenant's request outcomes. Handles are resolved
+// once at function-registration time; Record is a mutex plus integer
+// arithmetic — no allocation, no map access.
+type TenantSLO struct {
+	name  string
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	cfg     SLOConfig
+	buckets [sloRingLen]sloCell
+}
+
+// Record adds one request outcome. No-op on nil.
+func (s *TenantSLO) Record(d time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	ep := s.clock.Now().UnixNano() / int64(sloBucket)
+	s.mu.Lock()
+	c := &s.buckets[ep%sloRingLen]
+	if c.epoch != ep {
+		*c = sloCell{epoch: ep}
+	}
+	c.total++
+	if failed {
+		c.errs++
+	}
+	if d > s.cfg.LatencyTarget {
+		c.slow++
+	}
+	s.mu.Unlock()
+}
+
+// windowLocked sums the cells covering [now-w, now]. Caller holds s.mu.
+func (s *TenantSLO) windowLocked(nowEp int64, w time.Duration) (total, errs, slow int64) {
+	n := int64(w / sloBucket)
+	if n < 1 {
+		n = 1
+	}
+	for i := int64(0); i < n; i++ {
+		ep := nowEp - i
+		if ep < 0 {
+			break
+		}
+		c := &s.buckets[ep%sloRingLen]
+		if c.epoch == ep {
+			total += c.total
+			errs += c.errs
+			slow += c.slow
+		}
+	}
+	return
+}
+
+// SLOWindow is one evaluated burn window.
+type SLOWindow struct {
+	Window      time.Duration `json:"window_ns"`
+	Total       int64         `json:"total"`
+	Errors      int64         `json:"errors"`
+	Slow        int64         `json:"slow"`
+	ErrorBurn   float64       `json:"error_burn"`
+	LatencyBurn float64       `json:"latency_burn"`
+}
+
+// SLOSnapshot is one tenant's evaluated SLO state.
+type SLOSnapshot struct {
+	Tenant        string      `json:"tenant"`
+	Config        SLOConfig   `json:"config"`
+	Windows       []SLOWindow `json:"windows"`
+	ErrorPage     bool        `json:"error_page"`
+	ErrorTicket   bool        `json:"error_ticket"`
+	LatencyPage   bool        `json:"latency_page"`
+	LatencyTicket bool        `json:"latency_ticket"`
+}
+
+// snapshot evaluates all burn windows at the current clock instant.
+func (s *TenantSLO) snapshot() SLOSnapshot {
+	nowEp := s.clock.Now().UnixNano() / int64(sloBucket)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SLOSnapshot{Tenant: s.name, Config: s.cfg}
+	errBudget := 1 - s.cfg.Objective
+	latBudget := 1 - s.cfg.LatencyObjective
+	burns := make([]SLOWindow, 0, len(BurnWindows))
+	for _, w := range BurnWindows {
+		total, errs, slow := s.windowLocked(nowEp, w)
+		win := SLOWindow{Window: w, Total: total, Errors: errs, Slow: slow}
+		if total > 0 {
+			if errBudget > 0 {
+				win.ErrorBurn = float64(errs) / float64(total) / errBudget
+			}
+			if latBudget > 0 {
+				win.LatencyBurn = float64(slow) / float64(total) / latBudget
+			}
+		}
+		burns = append(burns, win)
+	}
+	snap.Windows = burns
+	// burns[0..1] is the fast pair (5m, 1h); burns[2..3] the slow (30m, 6h).
+	snap.ErrorPage = burns[0].ErrorBurn >= PageBurnRate && burns[1].ErrorBurn >= PageBurnRate
+	snap.LatencyPage = burns[0].LatencyBurn >= PageBurnRate && burns[1].LatencyBurn >= PageBurnRate
+	snap.ErrorTicket = burns[2].ErrorBurn >= TicketBurnRate && burns[3].ErrorBurn >= TicketBurnRate
+	snap.LatencyTicket = burns[2].LatencyBurn >= TicketBurnRate && burns[3].LatencyBurn >= TicketBurnRate
+	return snap
+}
+
+// SLOEngine hands out per-tenant SLO accumulators.
+type SLOEngine struct {
+	clock simclock.Clock
+
+	mu      sync.RWMutex
+	tenants map[string]*TenantSLO
+}
+
+func newSLOEngine(clock simclock.Clock) *SLOEngine {
+	return &SLOEngine{clock: clock, tenants: map[string]*TenantSLO{}}
+}
+
+// Tenant returns (creating with defaults if needed) the tenant's
+// accumulator. Nil engine → nil accumulator, whose Record no-ops.
+func (e *SLOEngine) Tenant(name string) *TenantSLO {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	s := e.tenants[name]
+	e.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s = e.tenants[name]; s == nil {
+		s = &TenantSLO{name: name, clock: e.clock, cfg: DefaultSLOConfig}
+		e.tenants[name] = s
+	}
+	return s
+}
+
+// SetObjective replaces a tenant's objectives (creating the tenant if
+// needed). Zero fields fall back to defaults. Nil-safe.
+func (e *SLOEngine) SetObjective(name string, cfg SLOConfig) {
+	if e == nil {
+		return
+	}
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		cfg.Objective = DefaultSLOConfig.Objective
+	}
+	if cfg.LatencyTarget <= 0 {
+		cfg.LatencyTarget = DefaultSLOConfig.LatencyTarget
+	}
+	if cfg.LatencyObjective <= 0 || cfg.LatencyObjective >= 1 {
+		cfg.LatencyObjective = DefaultSLOConfig.LatencyObjective
+	}
+	s := e.Tenant(name)
+	s.mu.Lock()
+	s.cfg = cfg
+	s.mu.Unlock()
+}
+
+// Snapshot evaluates every tenant, sorted by name. Empty on nil.
+func (e *SLOEngine) Snapshot() []SLOSnapshot {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	tenants := make([]*TenantSLO, 0, len(e.tenants))
+	for _, s := range e.tenants {
+		tenants = append(tenants, s)
+	}
+	e.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	out := make([]SLOSnapshot, 0, len(tenants))
+	for _, s := range tenants {
+		out = append(out, s.snapshot())
+	}
+	return out
+}
+
+// WriteSLOText renders the engine's current evaluation as a human-readable
+// report (the `taureau -slo` output).
+func (e *SLOEngine) WriteSLOText(w io.Writer) error {
+	snaps := e.Snapshot()
+	if len(snaps) == 0 {
+		_, err := fmt.Fprintln(w, "no tenants with recorded traffic")
+		return err
+	}
+	for _, s := range snaps {
+		alert := "ok"
+		switch {
+		case s.ErrorPage || s.LatencyPage:
+			alert = "PAGE"
+		case s.ErrorTicket || s.LatencyTicket:
+			alert = "TICKET"
+		}
+		if _, err := fmt.Fprintf(w, "tenant %-16s objective=%.4f latency<=%s@%.3f  [%s]\n",
+			s.Tenant, s.Config.Objective, s.Config.LatencyTarget, s.Config.LatencyObjective, alert); err != nil {
+			return err
+		}
+		for _, win := range s.Windows {
+			if _, err := fmt.Fprintf(w, "  window %-6s total=%-8d errors=%-6d slow=%-6d err_burn=%-8.2f lat_burn=%-8.2f\n",
+				win.Window, win.Total, win.Errors, win.Slow, win.ErrorBurn, win.LatencyBurn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,7 +1,12 @@
 package obs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +19,26 @@ import (
 // cannot grow memory without bound.
 const DefaultMaxSpans = 16384
 
+// DefaultMaxActiveTraces bounds how many traces may be in flight (staged,
+// not yet finalized) at once. A root span that is never ended would
+// otherwise pin its staging buffer forever; the cap turns that bug into a
+// counted drop instead of a leak.
+const DefaultMaxActiveTraces = 1024
+
+// TraceCtx is the compact causal context threaded across subsystem
+// boundaries: the trace id plus the span id of the propagating parent. It
+// is two int64s passed by value — no allocation, safe to stash in pooled
+// request records and arena-backed messages (it is copied, never aliased).
+// The zero value means "untraced"; every trace-aware API treats it as
+// "do not trace".
+type TraceCtx struct {
+	Trace int64 `json:"trace_id"`
+	Span  int64 `json:"span_id"`
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (tc TraceCtx) Valid() bool { return tc.Trace != 0 }
+
 // SpanData is one finished span. Timestamps come from the tracer's clock:
 // deterministic simulated instants under simclock.Virtual, wall time under
 // simclock.Real.
@@ -22,8 +47,11 @@ type SpanData struct {
 	SpanID   int64         `json:"span_id"`
 	ParentID int64         `json:"parent_id,omitempty"` // 0 for roots
 	Name     string        `json:"name"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Fn       string        `json:"fn,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	Err      bool          `json:"err,omitempty"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 }
 
@@ -33,54 +61,67 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
-// Span is an in-flight span. All methods are nil-safe no-ops so callers can
-// trace unconditionally against a nil tracer.
-//
-// Spans are pooled: End hands the finished record to the tracer and recycles
-// the Span object, so a span must not be touched after End — no SetAttr, no
-// StartChild, no second End. (End remains idempotent against accidental
-// double-calls that race the recycle, but a retained pointer is a bug.)
-type Span struct {
-	tracer *Tracer
-	data   SpanData
-
-	mu    sync.Mutex
-	ended bool
+// SamplerConfig drives deterministic tail sampling. Decisions are made when
+// a trace finalizes (root ended, no open children): error traces and traces
+// at/above SlowThreshold are always kept; of the rest, a seeded hash of the
+// root span's (name, virtual start instant) keeps KeepFraction. Because the
+// fingerprint never involves span ids — which depend on goroutine
+// interleaving between virtual-clock advances — two runs of the same
+// simulation keep byte-identical trace sets.
+type SamplerConfig struct {
+	Seed          int64
+	KeepFraction  float64       // fraction of normal traces kept, 0..1
+	SlowThreshold time.Duration // root duration ≥ threshold is always kept (0 disables)
 }
 
-// spanPool recycles Span objects so steady-state tracing under the
-// retention cap allocates only when a span carries attributes.
-var spanPool = sync.Pool{New: func() any { return new(Span) }}
-
-// takeSpan draws a recycled Span and arms it with d.
-func takeSpan(t *Tracer, d SpanData) *Span {
-	sp := spanPool.Get().(*Span)
-	sp.mu.Lock()
-	sp.tracer = t
-	sp.data = d
-	sp.ended = false
-	sp.mu.Unlock()
-	return sp
+// traceBuf stages the spans of one in-flight trace until the sampler can
+// rule on the whole thing. Buffers are recycled through a free list so
+// steady-state tracing allocates nothing.
+type traceBuf struct {
+	spans      []SpanData
+	open       int // spans started but not yet ended
+	rootDone   bool
+	rootName   string
+	rootTenant string
+	rootStart  time.Time
+	rootDur    time.Duration
+	rootErr    bool
 }
 
-// Tracer creates and collects spans.
+// Tracer creates and collects spans with tail sampling: spans stage in
+// per-trace buffers and move to the bounded retention buffer only when the
+// trace finalizes and the sampler keeps it.
 type Tracer struct {
 	clock  simclock.Clock
 	nextID int64
 
 	// full flips once the retained buffer reaches maxSpans; from then on
-	// StartSpan/StartChild return nil spans so steady-state tracing after the
-	// cap costs one atomic load, not an allocation per span.
-	full atomic.Bool
+	// Start returns an inert SpanRef so steady-state tracing after the cap
+	// costs one atomic load, not staging work per span.
+	full      atomic.Bool
+	samplerOn atomic.Bool
 
-	mu       sync.Mutex
-	finished []SpanData
-	dropped  int64
-	maxSpans int
+	mu        sync.Mutex
+	active    map[int64]*traceBuf
+	free      []*traceBuf
+	retained  []SpanData
+	dropped   int64 // spans dropped at the retention/active caps
+	late      int64 // spans whose parent trace already finalized
+	sampled   int64 // spans discarded by the sampler (whole traces)
+	kept      int64 // traces kept by the sampler
+	discarded int64 // traces discarded by the sampler
+	maxSpans  int
+	maxActive int
+	sampler   SamplerConfig
 }
 
 func newTracer(clock simclock.Clock) *Tracer {
-	return &Tracer{clock: clock, maxSpans: DefaultMaxSpans}
+	return &Tracer{
+		clock:     clock,
+		active:    map[int64]*traceBuf{},
+		maxSpans:  DefaultMaxSpans,
+		maxActive: DefaultMaxActiveTraces,
+	}
 }
 
 // NewTracer creates a standalone tracer on the given clock (nil → real).
@@ -101,30 +142,265 @@ func (t *Tracer) SetMaxSpans(n int) {
 	}
 	t.mu.Lock()
 	t.maxSpans = n
-	t.full.Store(len(t.finished) >= n)
+	t.full.Store(len(t.retained) >= n)
 	t.mu.Unlock()
+}
+
+// SetSampler enables tail sampling with cfg. The zero SamplerConfig keeps
+// only error traces (KeepFraction 0, no slow threshold); call ClearSampler
+// to restore keep-everything.
+func (t *Tracer) SetSampler(cfg SamplerConfig) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sampler = cfg
+	t.mu.Unlock()
+	t.samplerOn.Store(true)
+}
+
+// ClearSampler restores the default keep-every-trace behavior.
+func (t *Tracer) ClearSampler() {
+	if t == nil {
+		return
+	}
+	t.samplerOn.Store(false)
+}
+
+// SpanRef is an in-flight span handle, passed by value so starting and
+// ending a span allocates nothing. The zero SpanRef is inert: every method
+// no-ops, so callers trace unconditionally against nil tracers, full
+// tracers, and untraced requests alike.
+type SpanRef struct {
+	t      *Tracer
+	tc     TraceCtx
+	parent int64
+	start  time.Time
+	name   string
+}
+
+// Ctx returns the context to hand to children (zero on an inert ref).
+func (s SpanRef) Ctx() TraceCtx { return s.tc }
+
+// TraceID returns the span's trace id (0 on an inert ref).
+func (s SpanRef) TraceID() int64 { return s.tc.Trace }
+
+// Active reports whether the ref belongs to a live trace.
+func (s SpanRef) Active() bool { return s.t != nil }
+
+// Start opens a span. A zero parent begins a new trace (the span becomes
+// the root); a valid parent attaches a child to that trace. If the parent's
+// trace has already finalized — e.g. a backlog redelivery long after the
+// originating request completed — the span is counted late and dropped
+// rather than resurrecting the trace.
+func (t *Tracer) Start(parent TraceCtx, name string) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	if t.full.Load() {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return SpanRef{}
+	}
+	now := t.clock.Now()
+	id := atomic.AddInt64(&t.nextID, 1)
+	t.mu.Lock()
+	if parent.Trace == 0 {
+		if len(t.active) >= t.maxActive {
+			t.dropped++
+			t.mu.Unlock()
+			return SpanRef{}
+		}
+		buf := t.takeBufLocked()
+		buf.open = 1
+		t.active[id] = buf
+		t.mu.Unlock()
+		return SpanRef{t: t, tc: TraceCtx{Trace: id, Span: id}, start: now, name: name}
+	}
+	buf := t.active[parent.Trace]
+	if buf == nil {
+		t.late++
+		t.mu.Unlock()
+		return SpanRef{}
+	}
+	buf.open++
+	t.mu.Unlock()
+	return SpanRef{t: t, tc: TraceCtx{Trace: parent.Trace, Span: id}, parent: parent.Span, start: now, name: name}
+}
+
+// End finishes the span successfully.
+func (s SpanRef) End() { s.finish(false, "", "", nil) }
+
+// EndErr finishes the span, flagging it (and its trace) failed when failed
+// is true — failed traces are always kept by the tail sampler.
+func (s SpanRef) EndErr(failed bool) { s.finish(failed, "", "", nil) }
+
+// EndLabeled finishes the span with tenant/function attribution, used by
+// root spans so trace queries can filter by tenant.
+func (s SpanRef) EndLabeled(tenant, fn string, failed bool) { s.finish(failed, tenant, fn, nil) }
+
+func (s SpanRef) finish(failed bool, tenant, fn string, attrs []Attr) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	dur := t.clock.Now().Sub(s.start)
+	t.mu.Lock()
+	buf := t.active[s.tc.Trace]
+	if buf == nil { // double End, or trace force-reset underneath us
+		t.mu.Unlock()
+		return
+	}
+	buf.spans = append(buf.spans, SpanData{
+		TraceID:  s.tc.Trace,
+		SpanID:   s.tc.Span,
+		ParentID: s.parent,
+		Name:     s.name,
+		Tenant:   tenant,
+		Fn:       fn,
+		Start:    s.start,
+		Duration: dur,
+		Err:      failed,
+		Attrs:    attrs,
+	})
+	buf.open--
+	if s.tc.Span == s.tc.Trace {
+		buf.rootDone = true
+		buf.rootName = s.name
+		buf.rootTenant = tenant
+		buf.rootStart = s.start
+		buf.rootDur = dur
+	}
+	if failed {
+		buf.rootErr = true // any failed span marks the whole trace for keeping
+	}
+	if buf.rootDone && buf.open <= 0 {
+		t.finalizeLocked(s.tc.Trace, buf)
+	}
+	t.mu.Unlock()
+}
+
+// finalizeLocked rules on a completed trace: sampler decision, then either
+// move its spans into the retention buffer or discard them. Caller holds
+// t.mu.
+func (t *Tracer) finalizeLocked(id int64, buf *traceBuf) {
+	delete(t.active, id)
+	keep := true
+	if t.samplerOn.Load() {
+		cfg := t.sampler
+		keep = buf.rootErr ||
+			(cfg.SlowThreshold > 0 && buf.rootDur >= cfg.SlowThreshold) ||
+			sampleKeep(buf.rootName, buf.rootStart.UnixNano(), cfg.Seed, cfg.KeepFraction)
+	}
+	if keep {
+		t.kept++
+		for i := range buf.spans {
+			if len(t.retained) < t.maxSpans {
+				t.retained = append(t.retained, buf.spans[i])
+			} else {
+				t.dropped++
+			}
+		}
+		if len(t.retained) >= t.maxSpans {
+			t.full.Store(true)
+		}
+	} else {
+		t.discarded++
+		t.sampled += int64(len(buf.spans))
+	}
+	t.recycleBufLocked(buf)
+}
+
+func (t *Tracer) takeBufLocked() *traceBuf {
+	if n := len(t.free); n > 0 {
+		buf := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		return buf
+	}
+	return &traceBuf{spans: make([]SpanData, 0, 16)}
+}
+
+func (t *Tracer) recycleBufLocked(buf *traceBuf) {
+	for i := range buf.spans {
+		buf.spans[i] = SpanData{} // release attr/string references
+	}
+	spans := buf.spans[:0]
+	*buf = traceBuf{spans: spans}
+	if len(t.free) < 64 {
+		t.free = append(t.free, buf)
+	}
+}
+
+// sampleKeep is the deterministic sampling fingerprint: FNV-1a over the
+// root name, the root's virtual start instant, and the seed. Span/trace ids
+// are deliberately excluded — they depend on goroutine scheduling between
+// virtual-clock advances and would break rerun determinism.
+func sampleKeep(name string, startNs, seed int64, frac float64) bool {
+	if frac >= 1 {
+		return true
+	}
+	if frac <= 0 {
+		return false
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime
+	}
+	for i := uint(0); i < 64; i += 8 {
+		h = (h ^ uint64(byte(startNs>>i))) * prime
+		h = (h ^ uint64(byte(seed>>i))) * prime
+	}
+	return float64(h%1000000)/1000000 < frac
+}
+
+// ---------------------------------------------------------------------------
+// Legacy pointer-span API, kept for attribute-heavy call sites (orchestrate)
+// and existing tests. A *Span wraps a SpanRef plus an attribute buffer;
+// objects are pooled, so a span must not be touched after End.
+// ---------------------------------------------------------------------------
+
+// Span is an in-flight span. All methods are nil-safe no-ops so callers can
+// trace unconditionally against a nil tracer.
+//
+// Spans are pooled: End hands the finished record to the tracer and recycles
+// the Span object, so a span must not be touched after End — no SetAttr, no
+// StartChild, no second End. (End remains idempotent against accidental
+// double-calls that race the recycle, but a retained pointer is a bug.)
+type Span struct {
+	mu     sync.Mutex
+	ref    SpanRef
+	attrs  []Attr
+	failed bool
+	ended  bool
+}
+
+// spanPool recycles Span objects so steady-state tracing under the
+// retention cap allocates only when a span carries attributes.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+func takeSpan(ref SpanRef) *Span {
+	sp := spanPool.Get().(*Span)
+	sp.mu.Lock()
+	sp.ref = ref
+	sp.attrs = nil
+	sp.failed = false
+	sp.ended = false
+	sp.mu.Unlock()
+	return sp
 }
 
 // StartSpan opens a root span, beginning a new trace. Nil tracer → nil span;
 // a tracer whose retention buffer is full also returns nil (counted as
 // dropped), so capped tracing stays allocation-free.
 func (t *Tracer) StartSpan(name string) *Span {
-	if t == nil {
+	ref := t.Start(TraceCtx{}, name)
+	if ref.t == nil {
 		return nil
 	}
-	if t.full.Load() {
-		t.mu.Lock()
-		t.dropped++
-		t.mu.Unlock()
-		return nil
-	}
-	id := atomic.AddInt64(&t.nextID, 1)
-	return takeSpan(t, SpanData{
-		TraceID: id,
-		SpanID:  id,
-		Name:    name,
-		Start:   t.clock.Now(),
-	})
+	return takeSpan(ref)
 }
 
 // StartChild opens a child span in the same trace. Nil span → nil child.
@@ -132,30 +408,46 @@ func (sp *Span) StartChild(name string) *Span {
 	if sp == nil {
 		return nil
 	}
-	t := sp.tracer
-	if t.full.Load() {
-		t.mu.Lock()
-		t.dropped++
-		t.mu.Unlock()
+	sp.mu.Lock()
+	ref := sp.ref
+	ended := sp.ended
+	sp.mu.Unlock()
+	if ended || ref.t == nil {
 		return nil
 	}
-	return takeSpan(t, SpanData{
-		TraceID:  sp.data.TraceID,
-		SpanID:   atomic.AddInt64(&t.nextID, 1),
-		ParentID: sp.data.SpanID,
-		Name:     name,
-		Start:    t.clock.Now(),
-	})
+	child := ref.t.Start(ref.Ctx(), name)
+	if child.t == nil {
+		return nil
+	}
+	return takeSpan(child)
 }
 
-// SetAttr annotates the span. No-op on nil or after End.
+// Ctx returns the span's trace context for value-API propagation (e.g.
+// handing an orchestrate step's identity to faas). Zero after End or on nil.
+func (sp *Span) Ctx() TraceCtx {
+	if sp == nil {
+		return TraceCtx{}
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.ended {
+		return TraceCtx{}
+	}
+	return sp.ref.Ctx()
+}
+
+// SetAttr annotates the span. A key of "error" also flags the span failed,
+// which keeps its trace through the tail sampler. No-op on nil or after End.
 func (sp *Span) SetAttr(key, value string) {
 	if sp == nil {
 		return
 	}
 	sp.mu.Lock()
 	if !sp.ended {
-		sp.data.Attrs = append(sp.data.Attrs, Attr{Key: key, Value: value})
+		sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+		if key == "error" {
+			sp.failed = true
+		}
 	}
 	sp.mu.Unlock()
 }
@@ -165,7 +457,9 @@ func (sp *Span) TraceID() int64 {
 	if sp == nil {
 		return 0
 	}
-	return sp.data.TraceID
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.ref.TraceID()
 }
 
 // End finishes the span, recording it with the tracer. Idempotent; no-op on
@@ -180,41 +474,30 @@ func (sp *Span) End() {
 		return
 	}
 	sp.ended = true
-	sp.data.Duration = sp.tracer.clock.Now().Sub(sp.data.Start)
-	data := sp.data
-	t := sp.tracer
-	// Disarm before recycling. The recorded SpanData keeps the Attrs slice,
-	// so the zeroed span cannot alias it.
-	sp.tracer = nil
-	sp.data = SpanData{}
+	ref, attrs, failed := sp.ref, sp.attrs, sp.failed
+	sp.ref, sp.attrs, sp.failed = SpanRef{}, nil, false
 	sp.mu.Unlock()
 	spanPool.Put(sp)
-
-	t.mu.Lock()
-	if len(t.finished) < t.maxSpans {
-		t.finished = append(t.finished, data)
-		if len(t.finished) >= t.maxSpans {
-			t.full.Store(true)
-		}
-	} else {
-		// In-flight spans started just before the buffer filled.
-		t.dropped++
-	}
-	t.mu.Unlock()
+	ref.finish(failed, "", "", attrs)
 }
 
-// Spans returns a copy of all finished spans, in completion order. Empty on
-// nil.
+// ---------------------------------------------------------------------------
+// Queries and exports.
+// ---------------------------------------------------------------------------
+
+// Spans returns a copy of all retained spans, in completion order (within a
+// trace) and trace-finalization order (across traces). Empty on nil.
 func (t *Tracer) Spans() []SpanData {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]SpanData(nil), t.finished...)
+	return append([]SpanData(nil), t.retained...)
 }
 
-// Dropped reports how many spans were discarded at the retention cap.
+// Dropped reports how many spans were discarded at the retention or
+// active-trace caps (not sampler discards — see Stats).
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -224,19 +507,130 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
-// Reset discards all finished spans (the drop counter too).
+// TracerStats breaks down where spans went.
+type TracerStats struct {
+	Retained        int   `json:"retained_spans"`
+	ActiveTraces    int   `json:"active_traces"`
+	KeptTraces      int64 `json:"kept_traces"`
+	DiscardedTraces int64 `json:"discarded_traces"`
+	SampledOutSpans int64 `json:"sampled_out_spans"`
+	DroppedSpans    int64 `json:"dropped_spans"`
+	LateSpans       int64 `json:"late_spans"`
+}
+
+// Stats returns the tracer's bookkeeping counters. Zero value on nil.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TracerStats{
+		Retained:        len(t.retained),
+		ActiveTraces:    len(t.active),
+		KeptTraces:      t.kept,
+		DiscardedTraces: t.discarded,
+		SampledOutSpans: t.sampled,
+		DroppedSpans:    t.dropped,
+		LateSpans:       t.late,
+	}
+}
+
+// Reset discards all retained and in-flight spans and zeroes every counter.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.finished = nil
+	t.retained = nil
 	t.dropped = 0
+	t.late = 0
+	t.sampled = 0
+	t.kept = 0
+	t.discarded = 0
+	for id, buf := range t.active {
+		delete(t.active, id)
+		t.recycleBufLocked(buf)
+	}
 	t.full.Store(false)
 	t.mu.Unlock()
 }
 
-// ExportJSON renders the finished spans as a JSON array — the trace format
+// TraceSummary is the root-level view of one retained trace.
+type TraceSummary struct {
+	TraceID  int64         `json:"trace_id"`
+	Name     string        `json:"name"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    int           `json:"spans"`
+	Err      bool          `json:"err,omitempty"`
+}
+
+// Traces summarizes the retained traces, slowest-first would be a caller
+// sort; here they come ordered by root start instant (ties by name). Traces
+// whose root span fell past the retention cap are omitted.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byID := make(map[int64]*TraceSummary)
+	order := make([]int64, 0, 64)
+	for i := range t.retained {
+		sd := &t.retained[i]
+		ts := byID[sd.TraceID]
+		if ts == nil {
+			ts = &TraceSummary{TraceID: sd.TraceID}
+			byID[sd.TraceID] = ts
+			order = append(order, sd.TraceID)
+		}
+		ts.Spans++
+		if sd.Err {
+			ts.Err = true
+		}
+		if sd.SpanID == sd.TraceID { // root
+			ts.Name = sd.Name
+			ts.Tenant = sd.Tenant
+			ts.Start = sd.Start
+			ts.Duration = sd.Duration
+		}
+	}
+	t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(order))
+	for _, id := range order {
+		ts := byID[id]
+		if ts.Name == "" { // root span lost at the cap
+			continue
+		}
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, in completion order.
+func (t *Tracer) TraceSpans(traceID int64) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanData
+	for i := range t.retained {
+		if t.retained[i].TraceID == traceID {
+			out = append(out, t.retained[i])
+		}
+	}
+	return out
+}
+
+// ExportJSON renders the retained spans as a JSON array — the trace format
 // the EXPERIMENTS.md analyses consume. Returns "[]" on a nil tracer.
 func (t *Tracer) ExportJSON() ([]byte, error) {
 	spans := t.Spans()
@@ -244,4 +638,95 @@ func (t *Tracer) ExportJSON() ([]byte, error) {
 		spans = []SpanData{}
 	}
 	return json.MarshalIndent(spans, "", "  ")
+}
+
+// CanonicalText renders the retained traces in a canonical, id-free form:
+// traces sorted by (root start, content), spans as a DFS tree with children
+// ordered by their own canonical rendering. Span and trace ids are omitted
+// because they depend on goroutine scheduling; everything else — names,
+// virtual timestamps, durations, tenants, error flags, attributes — is
+// deterministic under simclock.Virtual, so two identical runs produce
+// byte-identical text (and CanonicalDigest hashes).
+func (t *Tracer) CanonicalText() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	children := make(map[int64][]*SpanData) // parent span id → children
+	roots := make([]*SpanData, 0, 64)
+	byTrace := make(map[int64]bool)
+	for i := range spans {
+		sd := &spans[i]
+		byTrace[sd.TraceID] = true
+		if sd.SpanID == sd.TraceID {
+			roots = append(roots, sd)
+		} else {
+			children[sd.ParentID] = append(children[sd.ParentID], sd)
+		}
+	}
+	var renderSpan func(sd *SpanData, depth int) string
+	renderSpan = func(sd *SpanData, depth int) string {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s start=%d dur=%d", sd.Name, sd.Start.UnixNano(), sd.Duration.Nanoseconds())
+		if sd.Tenant != "" {
+			fmt.Fprintf(&b, " tenant=%s", sd.Tenant)
+		}
+		if sd.Fn != "" {
+			fmt.Fprintf(&b, " fn=%s", sd.Fn)
+		}
+		if sd.Err {
+			b.WriteString(" err")
+		}
+		for _, a := range sd.Attrs {
+			fmt.Fprintf(&b, " %s=%q", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		kids := children[sd.SpanID]
+		rendered := make([]string, len(kids))
+		for i, k := range kids {
+			rendered[i] = renderSpan(k, depth+1)
+		}
+		sort.Strings(rendered)
+		for _, r := range rendered {
+			b.WriteString(r)
+		}
+		return b.String()
+	}
+	type renderedTrace struct {
+		startNs int64
+		text    string
+	}
+	out := make([]renderedTrace, 0, len(roots))
+	rooted := make(map[int64]bool, len(roots))
+	for _, root := range roots {
+		rooted[root.TraceID] = true
+		out = append(out, renderedTrace{root.Start.UnixNano(), renderSpan(root, 1)})
+	}
+	orphans := 0
+	for id := range byTrace {
+		if !rooted[id] {
+			orphans++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].startNs != out[j].startNs {
+			return out[i].startNs < out[j].startNs
+		}
+		return out[i].text < out[j].text
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "traces=%d orphan_traces=%d\n", len(out), orphans)
+	for _, rt := range out {
+		b.WriteString("trace\n")
+		b.WriteString(rt.text)
+	}
+	return b.String()
+}
+
+// CanonicalDigest is the sha256 of CanonicalText — the byte-identical
+// rerun-determinism check used by the chaos soaks.
+func (t *Tracer) CanonicalDigest() string {
+	sum := sha256.Sum256([]byte(t.CanonicalText()))
+	return hex.EncodeToString(sum[:])
 }

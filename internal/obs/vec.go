@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultMaxSeries caps the number of label combinations a vec will track.
+// Combination #cap+1 and later fold into a single __other__ series, so a
+// misbehaving caller (or a tenant explosion) degrades aggregation quality
+// instead of growing memory without bound.
+const DefaultMaxSeries = 512
+
+// OverflowLabel is the label value carried by the fold-over series.
+const OverflowLabel = "__other__"
+
+// Label is one key=value dimension on a labeled series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// vecCore is the shared label-interning machinery behind CounterVec and
+// HistogramVec. With is a setup-time operation (it may allocate); the
+// returned instrument is the hot-path handle and stays allocation-free.
+type vecCore struct {
+	name string
+	keys []string
+	max  int
+
+	mu     sync.RWMutex
+	series map[string][]string // interned label values by joined key
+}
+
+func newVecCore(name string, keys []string) *vecCore {
+	return &vecCore{name: name, keys: keys, max: DefaultMaxSeries, series: map[string][]string{}}
+}
+
+// intern resolves vals to a stable series key, or "" when the combination
+// would exceed the cardinality cap (callers then use their overflow series).
+// A wrong arity never panics on the hot path — it folds into overflow too,
+// which shows up in exports as a loud __other__ series rather than a crash.
+func (v *vecCore) intern(vals []string) (string, bool) {
+	if len(vals) != len(v.keys) {
+		return "", false
+	}
+	key := strings.Join(vals, "\x1f")
+	v.mu.RLock()
+	_, ok := v.series[key]
+	n := len(v.series)
+	v.mu.RUnlock()
+	if ok {
+		return key, true
+	}
+	if n >= v.max {
+		return "", false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.series[key]; !ok {
+		if len(v.series) >= v.max {
+			return "", false
+		}
+		v.series[key] = append([]string(nil), vals...)
+	}
+	return key, true
+}
+
+// labels reconstructs the sorted-by-insertion label set for a series key.
+func (v *vecCore) labels(key string) []Label {
+	v.mu.RLock()
+	vals := v.series[key]
+	v.mu.RUnlock()
+	out := make([]Label, len(v.keys))
+	for i, k := range v.keys {
+		val := OverflowLabel
+		if i < len(vals) {
+			val = vals[i]
+		}
+		out[i] = Label{Key: k, Value: val}
+	}
+	return out
+}
+
+func (v *vecCore) overflowLabels() []Label {
+	out := make([]Label, len(v.keys))
+	for i, k := range v.keys {
+		out[i] = Label{Key: k, Value: OverflowLabel}
+	}
+	return out
+}
+
+// SetMaxSeries adjusts the cardinality cap (≤0 restores the default).
+// Series already interned stay; only new combinations are folded.
+func (v *vecCore) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxSeries
+	}
+	v.mu.Lock()
+	v.max = n
+	v.mu.Unlock()
+}
+
+// CounterVec is a family of counters keyed by label values (e.g. tenant,
+// function). Resolve a handle once with With at setup time; the handle is a
+// plain *Counter, so the increment path is identical to unlabeled counters.
+type CounterVec struct {
+	core *vecCore
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	other    *Counter
+}
+
+// With resolves the counter for the given label values, folding into the
+// __other__ overflow series past the cardinality cap. Nil-safe.
+func (v *CounterVec) With(vals ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.core.intern(vals)
+	if !ok {
+		return v.otherCounter()
+	}
+	v.mu.RLock()
+	c := v.counters[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.counters[key]; c == nil {
+		c = &Counter{}
+		v.counters[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) otherCounter() *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.other == nil {
+		v.other = &Counter{}
+	}
+	return v.other
+}
+
+// SetMaxSeries adjusts the vec's cardinality cap. Nil-safe.
+func (v *CounterVec) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	v.core.SetMaxSeries(n)
+}
+
+// snapshot appends the vec's series (sorted by label values) to out.
+func (v *CounterVec) snapshot(out []CounterSnapshot) []CounterSnapshot {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.counters))
+	for k := range v.counters {
+		keys = append(keys, k)
+	}
+	other := v.other
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.mu.RLock()
+		c := v.counters[k]
+		v.mu.RUnlock()
+		out = append(out, CounterSnapshot{Name: v.core.name, Labels: v.core.labels(k), Value: c.Value()})
+	}
+	if other != nil {
+		out = append(out, CounterSnapshot{Name: v.core.name, Labels: v.core.overflowLabels(), Value: other.Value()})
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	core  *vecCore
+	value bool
+
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+	other *Histogram
+}
+
+// With resolves the histogram for the given label values, folding into the
+// __other__ overflow series past the cardinality cap. Nil-safe.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.core.intern(vals)
+	if !ok {
+		return v.otherHist()
+	}
+	v.mu.RLock()
+	h := v.hists[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.hists[key]; h == nil {
+		h = &Histogram{value: v.value}
+		v.hists[key] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) otherHist() *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.other == nil {
+		v.other = &Histogram{value: v.value}
+	}
+	return v.other
+}
+
+// SetMaxSeries adjusts the vec's cardinality cap. Nil-safe.
+func (v *HistogramVec) SetMaxSeries(n int) {
+	if v == nil {
+		return
+	}
+	v.core.SetMaxSeries(n)
+}
+
+// snapshot appends the vec's series (sorted by label values) to out.
+func (v *HistogramVec) snapshot(out []NamedHistogram) []NamedHistogram {
+	unit := "ns"
+	if v.value {
+		unit = "count"
+	}
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.hists))
+	for k := range v.hists {
+		keys = append(keys, k)
+	}
+	other := v.other
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.mu.RLock()
+		h := v.hists[k]
+		v.mu.RUnlock()
+		out = append(out, NamedHistogram{Name: v.core.name, Unit: unit, Labels: v.core.labels(k), HistogramSnapshot: h.Snapshot()})
+	}
+	if other != nil {
+		out = append(out, NamedHistogram{Name: v.core.name, Unit: unit, Labels: v.core.overflowLabels(), HistogramSnapshot: other.Snapshot()})
+	}
+	return out
+}

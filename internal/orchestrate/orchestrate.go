@@ -283,8 +283,11 @@ func (s taskState) run(e *Engine, ec *execCtx, input []byte) ([]byte, error) {
 		if isComp {
 			out, err = comp.run(e, ec, input)
 		} else {
+			// The step span's context rides into the platform, so the
+			// invocation (queue, handler, and anything the handler touches)
+			// joins the execution's trace instead of rooting its own.
 			var res faas.Result
-			res, err = e.platform.Invoke(s.target, input)
+			res, err = e.platform.InvokeTrace(s.target, input, sp.Ctx())
 			out = res.Output
 			if err != nil && errors.Is(err, faas.ErrNoFunction) {
 				return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, s.target)

@@ -169,7 +169,7 @@ func (b *Broker) topicLocked(topicName string) (*topicState, error) {
 func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 	entry := make([]byte, entrySize(key, topicName, len(payload)))
 	view := encodeEntryInto(entry, key, topicName, payload)
-	return b.publishEntry(topicName, key, entry, view)
+	return b.publishEntry(topicName, key, entry, view, obs.TraceCtx{})
 }
 
 // publishEntry appends a pre-encoded entry durably and dispatches it.
@@ -183,7 +183,10 @@ func (b *Broker) publish(topicName, key string, payload []byte) (int64, error) {
 // immutable once passed in — on a failed append the buffer may already sit
 // on a bookie, so a retry must re-encode into a fresh buffer, never restamp
 // this one (Producer.SendKey does exactly that).
-func (b *Broker) publishEntry(topicName, key string, entry, payload []byte) (int64, error) {
+//
+// tc is the publish-side causal context (zero = untraced): the durable
+// append and every delivery of this message become its children.
+func (b *Broker) publishEntry(topicName, key string, entry, payload []byte, tc obs.TraceCtx) (int64, error) {
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d) // before any lock: sleeping under a lock stalls the virtual clock
 	}
@@ -201,11 +204,11 @@ func (b *Broker) publishEntry(topicName, key string, entry, payload []byte) (int
 	now := b.cluster.clock.Now()
 	seq := ts.nextSeq
 	stampEntry(entry, seq, now)
-	if _, err := ts.writer.Append(entry); err != nil {
+	if _, err := ts.writer.AppendCtx(entry, tc); err != nil {
 		return 0, err
 	}
 	ts.nextSeq++
-	ts.cache = append(ts.cache, Message{Seq: seq, Key: key, Payload: payload, PublishTime: now, Topic: ts.name})
+	ts.cache = append(ts.cache, Message{Seq: seq, Key: key, Payload: payload, PublishTime: now, Topic: ts.name, Trace: tc})
 	c := b.cluster
 	c.obsPublished.Inc()
 	if c.obsPublishLat != nil {
@@ -222,7 +225,7 @@ func (b *Broker) publishEntry(topicName, key string, entry, payload []byte) (int
 // then dispatches. entries are pre-encoded wire buffers and views their
 // payload aliases (see publishEntry for the ownership contract); all
 // messages share one PublishTime. Returns the first assigned seq.
-func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, views [][]byte) (int64, error) {
+func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, views [][]byte, traces []obs.TraceCtx) (int64, error) {
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d)
 	}
@@ -242,11 +245,24 @@ func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, vie
 	for i := range entries {
 		stampEntry(entries[i], first+int64(i), now)
 	}
-	if _, err := ts.writer.AppendBatch(entries); err != nil {
+	// The group commit parents on the batch's first traced message; each
+	// message keeps its own context for delivery-time spans.
+	var batchCtx obs.TraceCtx
+	for _, tc := range traces {
+		if tc.Valid() {
+			batchCtx = tc
+			break
+		}
+	}
+	if _, err := ts.writer.AppendBatchCtx(entries, batchCtx); err != nil {
 		return 0, err
 	}
 	for i := range entries {
-		ts.cache = append(ts.cache, Message{Seq: first + int64(i), Key: keys[i], Payload: views[i], PublishTime: now, Topic: ts.name})
+		m := Message{Seq: first + int64(i), Key: keys[i], Payload: views[i], PublishTime: now, Topic: ts.name}
+		if i < len(traces) {
+			m.Trace = traces[i]
+		}
+		ts.cache = append(ts.cache, m)
 	}
 	ts.nextSeq = first + int64(len(entries))
 	c := b.cluster
@@ -431,6 +447,12 @@ func (b *Broker) deliverLocked(ts *topicState, sub *subscription, seq int64, now
 	sub.pending[seq] = target.id
 	if !now.IsZero() {
 		b.cluster.obsDispatchLat.Observe(now.Sub(m.PublishTime))
+	}
+	// Traced deliveries (first dispatch, still within the publish window)
+	// record a "pulsar.deliver" child; redeliveries of long-finalized traces
+	// fall into the tracer's late-span count by design.
+	if m.Trace.Valid() {
+		b.cluster.tracer.Start(m.Trace, "pulsar.deliver").End()
 	}
 	target.inbox.push(m)
 }

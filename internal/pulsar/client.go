@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/obs"
 )
 
 // ProducerOptions tunes a producer's batching behavior.
@@ -60,6 +61,7 @@ type topicBatch struct {
 	keys    []string
 	entries [][]byte // encoded entries, headers unstamped
 	views   [][]byte // payload views aliasing entries
+	traces  []obs.TraceCtx
 }
 
 // CreateProducer opens a producer for an existing topic with the cluster's
@@ -99,6 +101,11 @@ func (p *Producer) Send(payload []byte) (int64, error) {
 	return p.SendKey("", payload)
 }
 
+// SendTrace publishes an unkeyed message under the caller's causal context.
+func (p *Producer) SendTrace(payload []byte, tc obs.TraceCtx) (int64, error) {
+	return p.SendKeyTrace("", payload, tc)
+}
+
 // retryablePublishErr reports whether a publish failure warrants owner
 // re-resolution and retry: the broker was down or no longer owned the topic,
 // or its writer lost the ledger to a new owner's recovery (fencing) — all
@@ -113,6 +120,27 @@ func retryablePublishErr(err error) bool {
 // order. Any buffered SendAsync messages flush first, so the synchronous
 // message never overtakes them.
 func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
+	return p.sendKey(key, payload, obs.TraceCtx{})
+}
+
+// SendKeyTrace is SendKey under the caller's causal context: a valid tc adds
+// a "pulsar.publish" span covering every attempt (owner resolution, the
+// durable append, dispatch), with the ledger append and each delivery as
+// children. A zero tc traces nothing.
+func (p *Producer) SendKeyTrace(key string, payload []byte, tc obs.TraceCtx) (int64, error) {
+	if !tc.Valid() {
+		return p.sendKey(key, payload, obs.TraceCtx{})
+	}
+	span := p.c.tracer.Start(tc, "pulsar.publish")
+	seq, err := p.sendKey(key, payload, span.Ctx())
+	span.EndErr(err != nil)
+	return seq, err
+}
+
+// sendKey is the shared synchronous publish path; pctx (the publish span's
+// context, or zero when untraced) flows to the broker so deliveries and the
+// ledger append parent on it.
+func (p *Producer) sendKey(key string, payload []byte, pctx obs.TraceCtx) (int64, error) {
 	p.mu.Lock()
 	if p.pendingN > 0 {
 		if err := p.flushLocked(); err != nil {
@@ -140,7 +168,7 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		seq, err := b.publishEntry(t, key, entry, view)
+		seq, err := b.publishEntry(t, key, entry, view, pctx)
 		if err == nil {
 			p.c.meterPublish(1)
 			return seq, nil
@@ -165,6 +193,14 @@ func (p *Producer) SendKey(key string, payload []byte) (int64, error) {
 // buffered messages (they were never assigned seqs); the caller decides
 // whether to re-send.
 func (p *Producer) SendAsync(key string, payload []byte) error {
+	return p.SendAsyncTrace(key, payload, obs.TraceCtx{})
+}
+
+// SendAsyncTrace is SendAsync carrying the caller's causal context. Batched
+// publishes are traced coarsely: each buffered message remembers its tc, the
+// group ledger commit parents on the batch's first traced message, and each
+// delivery parents on its own message's tc.
+func (p *Producer) SendAsyncTrace(key string, payload []byte, tc obs.TraceCtx) error {
 	t := p.route(key)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -177,6 +213,7 @@ func (p *Producer) SendAsync(key string, payload []byte) error {
 	tb.keys = append(tb.keys, key)
 	tb.entries = append(tb.entries, entry)
 	tb.views = append(tb.views, encodeEntryInto(entry, key, t, payload))
+	tb.traces = append(tb.traces, tc)
 	p.pendingN++
 	if p.pendingN >= p.maxBatch {
 		return p.flushLocked()
@@ -208,8 +245,9 @@ func (p *Producer) takeBatchLocked() *topicBatch {
 func (p *Producer) recycleBatchLocked(tb *topicBatch) {
 	for i := range tb.entries {
 		tb.keys[i], tb.entries[i], tb.views[i] = "", nil, nil
+		tb.traces[i] = obs.TraceCtx{}
 	}
-	tb.keys, tb.entries, tb.views = tb.keys[:0], tb.entries[:0], tb.views[:0]
+	tb.keys, tb.entries, tb.views, tb.traces = tb.keys[:0], tb.entries[:0], tb.views[:0], tb.traces[:0]
 	p.free = append(p.free, tb)
 }
 
@@ -258,7 +296,7 @@ func (p *Producer) publishBatchLocked(t string, tb *topicBatch) error {
 		if err != nil {
 			return err
 		}
-		if _, err := b.publishEntryBatch(t, tb.keys, tb.entries, tb.views); err == nil {
+		if _, err := b.publishEntryBatch(t, tb.keys, tb.entries, tb.views, tb.traces); err == nil {
 			p.c.meterPublish(len(tb.entries))
 			return nil
 		} else {

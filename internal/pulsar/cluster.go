@@ -88,6 +88,7 @@ type Cluster struct {
 	// registry itself is kept for per-subscription backlog gauges, which are
 	// created lazily when subscriptions appear.
 	obs              *obs.Registry
+	tracer           *obs.Tracer
 	obsPublished     *obs.Counter
 	obsPublishLat    *obs.Histogram
 	obsDispatchLat   *obs.Histogram
@@ -102,6 +103,7 @@ type Cluster struct {
 // handles are read lock-free on the publish and dispatch paths.
 func (c *Cluster) SetObs(r *obs.Registry) {
 	c.obs = r
+	c.tracer = r.Tracer()
 	c.obsPublished = r.Counter("pulsar.publish.messages")
 	c.obsPublishLat = r.Histogram("pulsar.publish.latency")
 	c.obsDispatchLat = r.Histogram("pulsar.dispatch.latency")

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Message is one payload published to a topic.
@@ -26,6 +28,12 @@ type Message struct {
 	PublishTime time.Time `json:"publish_time"`
 	// Topic is the concrete (partition) topic the message lives on.
 	Topic string `json:"topic"`
+	// Trace is the publish-side causal context, carried in memory only: it
+	// parents per-delivery "pulsar.deliver" spans. It is deliberately not
+	// part of the wire format — a trace ends with its request, so entries
+	// replayed from a recovered ledger (or an old JSON topic) come back
+	// untraced rather than resurrecting long-finalized traces.
+	Trace obs.TraceCtx `json:"-"`
 }
 
 // Ledger entry wire format. Entries written by current brokers are binary:
