@@ -648,3 +648,65 @@ func BenchmarkLabeledCounter(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkPartitionReassign measures one cursor-exact ownership handoff:
+// drop from the current owner, transfer the coordination lock, and recover
+// the exact cursor on the destination. The empty-ledger prune in loadTopic
+// keeps this O(topic history), not O(moves so far) — without it each
+// iteration would recover one more ledger than the last.
+func BenchmarkPartitionReassign(b *testing.B) {
+	p := core.New(core.Options{})
+	if err := p.Pulsar.CreateTopic("bench", 0); err != nil {
+		b.Fatal(err)
+	}
+	prod, err := p.Pulsar.CreateProducer("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := workload.Payload(256, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := prod.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Pulsar.MoveTopic("bench", "broker-0"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Pulsar.MoveTopic("bench", fmt.Sprintf("broker-%d", (i+1)%2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiBrokerPublish drives sync publishes round-robin across
+// topics owned by four brokers — the multi-broker hot path: range-routing
+// table lookup, per-broker owner cache, per-topic locks.
+func BenchmarkMultiBrokerPublish(b *testing.B) {
+	p := core.New(core.Options{Brokers: 4})
+	payload := workload.Payload(256, 1)
+	const topics = 8
+	prods := make([]*pulsar.Producer, topics)
+	for i := range prods {
+		name := fmt.Sprintf("bench-%d", i)
+		if err := p.Pulsar.CreateTopic(name, 0); err != nil {
+			b.Fatal(err)
+		}
+		prod, err := p.Pulsar.CreateProducer(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prods[i] = prod
+		if _, err := prod.Send(payload); err != nil { // elect owners up front
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prods[i%topics].Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

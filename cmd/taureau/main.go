@@ -12,6 +12,7 @@
 //	taureau -demo state       # Jiffy namespaces, scaling, leases
 //	taureau -demo oram        # Path ORAM access-pattern hiding (§6)
 //	taureau -demo burst       # autoscaler under a 10× open-loop burst (§4.1)
+//	taureau -demo rebalance   # broker load manager spreading hot partitions
 //	taureau -list             # list demos
 //
 // Telemetry:
@@ -24,6 +25,7 @@
 //	taureau -demo burst -slo                     # per-tenant SLO burn-rate report
 //	taureau -demo stream -serve :9090            # keep serving /metrics + pprof
 //	taureau -demo burst -serve :9090             # … plus /autoscale state and /slo
+//	taureau -demo rebalance -serve :9090         # … plus the /brokers load report
 //
 // Chaos:
 //
@@ -59,26 +61,27 @@ import (
 )
 
 var demos = map[string]func(*core.Platform, simclock.Clock){
-	"invoke":   demoInvoke,
-	"pipeline": demoPipeline,
-	"stream":   demoStream,
-	"state":    demoState,
-	"oram":     demoORAM,
-	"burst":    demoBurst,
+	"invoke":    demoInvoke,
+	"pipeline":  demoPipeline,
+	"stream":    demoStream,
+	"state":     demoState,
+	"oram":      demoORAM,
+	"burst":     demoBurst,
+	"rebalance": demoRebalance,
 }
 
 func main() {
 	var (
-		demo    = flag.String("demo", "invoke", "demo scenario to run")
-		list    = flag.Bool("list", false, "list demos and exit")
-		metrics = flag.Bool("metrics", false, "dump platform metrics after the demo")
-		format  = flag.String("format", "text", "metrics dump format: text, prom, or json")
+		demo        = flag.String("demo", "invoke", "demo scenario to run")
+		list        = flag.Bool("list", false, "list demos and exit")
+		metrics     = flag.Bool("metrics", false, "dump platform metrics after the demo")
+		format      = flag.String("format", "text", "metrics dump format: text, prom, or json")
 		trace       = flag.Bool("trace", false, "dump collected trace spans as JSON after the demo")
 		traceTop    = flag.Int("trace-top", 0, "with -trace: print the N slowest traces (span trees, slowest first) instead of raw JSON")
 		traceTenant = flag.String("trace-tenant", "", "with -trace: only traces attributed to this tenant")
 		slo         = flag.Bool("slo", false, "print the per-tenant SLO burn-rate report after the demo")
 		serve       = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace, /slo and pprof on this address (e.g. :9090)")
-		seed    = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
+		seed        = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
 	)
 	flag.Parse()
 	if *list {
@@ -159,7 +162,7 @@ func main() {
 		}
 	}
 	if *serve != "" {
-		fmt.Printf("\nserving /metrics, /metrics.json, /trace, /autoscale and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
+		fmt.Printf("\nserving /metrics, /metrics.json, /trace, /autoscale, /brokers and /debug/pprof on %s (ctrl-c to stop)\n", *serve)
 		autoscaleRoute := obs.Route{Pattern: "/autoscale", Handler: func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			var st autoscale.Status
@@ -170,7 +173,17 @@ func main() {
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(st)
 		}}
-		if err := platform.Obs.Serve(*serve, autoscaleRoute); err != nil {
+		brokersRoute := obs.Route{Pattern: "/brokers", Handler: func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			var rep pulsar.LoadReport
+			if platform.BrokerLoad != nil {
+				rep = platform.BrokerLoad.Report()
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+		}}
+		if err := platform.Obs.Serve(*serve, autoscaleRoute, brokersRoute); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -510,4 +523,56 @@ func tail(s []string) string {
 		return ""
 	}
 	return s[len(s)-1]
+}
+
+// demoRebalance pins a fleet of topics onto one broker, drives skewed
+// publish load, and lets the broker load manager spread the hot partitions
+// across the cluster through cursor-exact ownership handoffs. With
+// -serve :9090 the final /brokers endpoint reports the per-broker load.
+func demoRebalance(p *core.Platform, clock simclock.Clock) {
+	topics := []string{"orders", "payments", "carts", "emails", "fraud", "audit"}
+	prods := make([]*pulsar.Producer, len(topics))
+	for i, tp := range topics {
+		if err := p.Pulsar.CreateTopic(tp, 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Pulsar.MoveTopic(tp, "broker-0"); err != nil {
+			log.Fatal(err)
+		}
+		prod, err := p.Pulsar.CreateProducer(tp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prods[i] = prod
+	}
+	fmt.Printf("%d topics pinned to broker-0; load manager sampling every 100ms\n", len(topics))
+	lm := p.EnableBrokerLoadManager(pulsar.LoadManagerConfig{
+		Interval:       100*time.Millisecond + 333*time.Nanosecond,
+		OverloadFactor: 1.1,
+		MinMoveRate:    10,
+	})
+	defer lm.Stop()
+
+	// Skewed load: topic i publishes (i+1)×50 msg per 100ms round.
+	payload := workload.Payload(256, 7)
+	for round := 0; round < 10; round++ {
+		for i, prod := range prods {
+			for n := 0; n < (i+1)*5; n++ {
+				if _, err := prod.Send(payload); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		clock.Sleep(100 * time.Millisecond)
+	}
+
+	rep := lm.Report()
+	fmt.Printf("\nload manager: %d moves, %d splits\n", rep.Moves, rep.Splits)
+	for _, ev := range rep.Events {
+		fmt.Printf("  %-5s %-10s %s → %s\n", ev.Action, ev.Topic, ev.From, ev.To)
+	}
+	fmt.Println()
+	for _, b := range rep.Brokers {
+		fmt.Printf("%-10s topics=%d rate=%.0f msg/s\n", b.ID, b.Topics, b.MsgsPerSec)
+	}
 }

@@ -129,6 +129,9 @@ type Platform struct {
 	// Autoscaler is the elastic control plane, set by EnableAutoscale
 	// (nil until then).
 	Autoscaler *autoscale.Controller
+	// BrokerLoad is the Pulsar broker load manager, set by
+	// EnableBrokerLoadManager (nil until then).
+	BrokerLoad *pulsar.LoadManager
 }
 
 // New assembles a Platform.
@@ -240,6 +243,18 @@ func (p *Platform) EnableAutoscale(cfg autoscale.Config) *autoscale.Controller {
 	p.Autoscaler = ctrl
 	ctrl.Start()
 	return ctrl
+}
+
+// EnableBrokerLoadManager builds and starts the Pulsar broker load manager
+// (DESIGN.md §12): per-partition load sampling, hot-partition reassignment
+// through the cursor-exact handoff, and key-range splits when configured.
+// The manager is stored on Platform.BrokerLoad for the `/brokers` endpoint
+// and demos.
+func (p *Platform) EnableBrokerLoadManager(cfg pulsar.LoadManagerConfig) *pulsar.LoadManager {
+	lm := p.Pulsar.NewLoadManager(cfg)
+	p.BrokerLoad = lm
+	lm.Start()
+	return lm
 }
 
 // NewVirtual builds a Platform on a fresh virtual clock and returns both.

@@ -1,7 +1,6 @@
 package core
 
 import (
-
 	"repro/internal/billing"
 	"repro/internal/faas"
 )

@@ -55,15 +55,15 @@ var (
 	// ErrLeaseExpired marks an op rejected because the namespace's lease
 	// lapsed and its state was (or is being) reclaimed.
 	ErrLeaseExpired = fmt.Errorf("jiffy: namespace %w: %w", errs.ErrLeaseExpired, ErrNoNamespace)
-	ErrNoKey       = errors.New("jiffy: key not found")
-	ErrEmptyQueue  = errors.New("jiffy: queue is empty")
-	ErrBadPath     = errors.New("jiffy: malformed namespace path")
-	ErrValueTooBig = errors.New("jiffy: value exceeds block size")
-	ErrHasChildren = errors.New("jiffy: namespace has children")
-	ErrMinBlocks   = errors.New("jiffy: cannot scale below one block")
-	ErrNodeDown    = errors.New("jiffy: memory node is down")
-	ErrNoNode      = errors.New("jiffy: memory node does not exist")
-	ErrNoFlush     = errors.New("jiffy: no flush target configured")
+	ErrNoKey        = errors.New("jiffy: key not found")
+	ErrEmptyQueue   = errors.New("jiffy: queue is empty")
+	ErrBadPath      = errors.New("jiffy: malformed namespace path")
+	ErrValueTooBig  = errors.New("jiffy: value exceeds block size")
+	ErrHasChildren  = errors.New("jiffy: namespace has children")
+	ErrMinBlocks    = errors.New("jiffy: cannot scale below one block")
+	ErrNodeDown     = errors.New("jiffy: memory node is down")
+	ErrNoNode       = errors.New("jiffy: memory node does not exist")
+	ErrNoFlush      = errors.New("jiffy: no flush target configured")
 )
 
 // noExpiry is the deadline of a namespace whose lease never lapses.

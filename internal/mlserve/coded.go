@@ -127,6 +127,7 @@ func MatVec(p *faas.Platform, a [][]float64, x []float64, cfg CodedConfig) (Code
 	stripeDone := make([]bool, cfg.Stripes)
 	stripeOut := make([][]float64, cfg.Stripes)
 	remaining := cfg.Stripes
+	var wall time.Duration
 	allDone := make(chan struct{})
 	var once sync.Once
 	var wgAll sync.WaitGroup
@@ -151,6 +152,16 @@ func MatVec(p *faas.Platform, a [][]float64, x []float64, cfg CodedConfig) (Code
 					stripeOut[s] = out
 					remaining--
 					if remaining == 0 {
+						// Stamp the wall here, in the resolving tracked
+						// goroutine: virtual time cannot advance while it
+						// runs. Reading Now() after BlockOn resumes instead
+						// races with the clock driver — if this goroutine's
+						// waker is descheduled past the settle window (GC
+						// assist pressure), the driver jumps to the next
+						// deadline (a straggler's wake) first and the
+						// measurement absorbs the stragglers it was designed
+						// to dodge.
+						wall = clock.Now().Sub(start)
 						once.Do(func() { close(allDone) })
 					}
 				}
@@ -159,7 +170,6 @@ func MatVec(p *faas.Platform, a [][]float64, x []float64, cfg CodedConfig) (Code
 		}
 	}
 	clock.BlockOn(func() { <-allDone })
-	wall := clock.Now().Sub(start)
 	// Drain the redundant replicas before returning (they exist and bill;
 	// the *result* was ready at wall).
 	clock.BlockOn(wgAll.Wait)

@@ -24,6 +24,13 @@ var (
 	ErrBadTopicName   = errors.New("pulsar: invalid topic name")
 	ErrConsumerClosed = errors.New("pulsar: consumer is closed")
 	ErrPublishDropped = errors.New("pulsar: publish dropped")
+	// ErrRouteMoved fences a keyed publish whose key hash falls outside the
+	// partition's accepted range — the partition split after the sender
+	// routed. The sender re-resolves routing and republishes to the child;
+	// the fence is what makes a split safe under concurrent traffic (a
+	// stale route can only produce this error, never an out-of-order
+	// append).
+	ErrRouteMoved = errors.New("pulsar: key range moved")
 )
 
 // consumerReg is a consumer's registration on a broker-side subscription.
@@ -66,6 +73,20 @@ type ledgerRange struct {
 // carries its own lock, so publishes and dispatches on distinct topics never
 // contend: Broker.mu only guards the topic table itself.
 type topicState struct {
+	// pubMsgs/pubBytes count publishes since this broker loaded the topic.
+	// Atomics (though written under ts.mu) so the load manager samples
+	// them without touching the topic lock. First for 64-bit alignment.
+	pubMsgs  int64
+	pubBytes int64
+	// keyLo/keyHi is the partition's accepted key-hash range (read from
+	// topic metadata at load, narrowed in place by a split). keyHi == 0
+	// means unranged: any key is accepted (plain topics). Atomics so a
+	// publisher can fail fast on a misrouted key before reserving modeled
+	// service capacity; the authoritative check still runs under ts.mu,
+	// where the range also narrows, so an append either fully precedes a
+	// split's fence or bounces — never lands out of range.
+	keyLo, keyHi uint64
+
 	name string
 
 	mu      sync.Mutex
@@ -99,6 +120,45 @@ type Broker struct {
 	// and then lost). Both atomics — no lock on the hot path.
 	slow     int64
 	dropNext int64
+
+	// Capacity model (ClusterConfig.ServiceTime): svcNs is the per-message
+	// service time, busyUntil the virtual-time instant the broker's FIFO
+	// server frees up. Publishers CAS-reserve their service window and
+	// sleep until it ends — before any lock, so a queued publisher never
+	// stalls the virtual clock or other topics. Zero svcNs disables both.
+	svcNs     int64
+	busyUntil int64
+}
+
+// SetServiceTime overrides this broker's modeled per-message service time
+// (see ClusterConfig.ServiceTime). Zero disables the capacity model.
+func (b *Broker) SetServiceTime(d time.Duration) { atomic.StoreInt64(&b.svcNs, int64(d)) }
+
+// admitService reserves n messages of modeled service capacity and waits
+// (in virtual time) until the reservation completes. FIFO by reservation
+// order: the broker serves one message per ServiceTime, so saturated
+// throughput is 1/ServiceTime per broker and adding brokers adds capacity.
+func (b *Broker) admitService(n int) {
+	svc := atomic.LoadInt64(&b.svcNs)
+	if svc <= 0 || n <= 0 {
+		return
+	}
+	cost := svc * int64(n)
+	now := b.cluster.clock.Now().UnixNano()
+	for {
+		cur := atomic.LoadInt64(&b.busyUntil)
+		start := cur
+		if start < now {
+			start = now
+		}
+		end := start + cost
+		if atomic.CompareAndSwapInt64(&b.busyUntil, cur, end) {
+			if wait := end - now; wait > 0 {
+				b.cluster.clock.Sleep(time.Duration(wait))
+			}
+			return
+		}
+	}
 }
 
 // SetSlow makes every subsequent publish on this broker take an extra d
@@ -190,6 +250,12 @@ func (b *Broker) publishEntry(topicName, key string, entry, payload []byte, tc o
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d) // before any lock: sleeping under a lock stalls the virtual clock
 	}
+	// Fail fast before reserving capacity: a publish the broker will reject
+	// anyway (not owned, fenced key) must not queue behind real work.
+	if err := b.precheck(topicName, key); err != nil {
+		return 0, err
+	}
+	b.admitService(1)
 	if b.takeDrop() {
 		return 0, fmt.Errorf("%w: %s", ErrPublishDropped, b.ID)
 	}
@@ -201,6 +267,9 @@ func (b *Broker) publishEntry(topicName, key string, entry, payload []byte, tc o
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	if err := ts.checkRange(key); err != nil {
+		return 0, err
+	}
 	now := b.cluster.clock.Now()
 	seq := ts.nextSeq
 	stampEntry(entry, seq, now)
@@ -209,6 +278,8 @@ func (b *Broker) publishEntry(topicName, key string, entry, payload []byte, tc o
 	}
 	ts.nextSeq++
 	ts.cache = append(ts.cache, Message{Seq: seq, Key: key, Payload: payload, PublishTime: now, Topic: ts.name, Trace: tc})
+	atomic.AddInt64(&ts.pubMsgs, 1)
+	atomic.AddInt64(&ts.pubBytes, int64(len(payload)))
 	c := b.cluster
 	c.obsPublished.Inc()
 	if c.obsPublishLat != nil {
@@ -229,6 +300,11 @@ func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, vie
 	if d := b.extraLatency(); d > 0 {
 		b.cluster.clock.Sleep(d)
 	}
+	// Fail fast before reserving capacity (see publishEntry).
+	if err := b.precheck(topicName, keys...); err != nil {
+		return 0, err
+	}
+	b.admitService(len(entries))
 	if b.takeDrop() {
 		return 0, fmt.Errorf("%w: %s", ErrPublishDropped, b.ID)
 	}
@@ -240,6 +316,14 @@ func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, vie
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	// Fence the whole batch before any append: either every message is in
+	// range or none is written, so the producer can redistribute the batch
+	// against fresh routing without a partial prefix landing here.
+	for _, k := range keys {
+		if err := ts.checkRange(k); err != nil {
+			return 0, err
+		}
+	}
 	now := b.cluster.clock.Now()
 	first := ts.nextSeq
 	for i := range entries {
@@ -265,6 +349,12 @@ func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, vie
 		ts.cache = append(ts.cache, m)
 	}
 	ts.nextSeq = first + int64(len(entries))
+	var nbytes int64
+	for _, v := range views {
+		nbytes += int64(len(v))
+	}
+	atomic.AddInt64(&ts.pubMsgs, int64(len(entries)))
+	atomic.AddInt64(&ts.pubBytes, nbytes)
 	c := b.cluster
 	c.obsPublished.Add(int64(len(entries)))
 	c.obsBatchSize.ObserveValue(int64(len(entries)))
@@ -276,6 +366,111 @@ func (b *Broker) publishEntryBatch(topicName string, keys []string, entries, vie
 		sub.updateBacklogLocked(ts)
 	}
 	return first, nil
+}
+
+// checkRange fences keyed publishes against the partition's accepted
+// key-hash range. Lock-free (atomic loads): publishers call it once before
+// admitService as a cheap fail-fast — a misrouted key should not consume
+// broker capacity — and again under ts.mu as the authoritative check (the
+// range narrows under that lock during a split, so a publish either sees the
+// old range and lands on the parent, or is bounced to re-route — never both).
+func (ts *topicState) checkRange(key string) error {
+	if key == "" {
+		return nil
+	}
+	lo, hi := atomic.LoadUint64(&ts.keyLo), atomic.LoadUint64(&ts.keyHi)
+	if hi == 0 {
+		return nil
+	}
+	if h := uint64(fnv1a(key)); h < lo || h >= hi {
+		return fmt.Errorf("%w: key %q outside %q [%d,%d)", ErrRouteMoved, key, ts.name, lo, hi)
+	}
+	return nil
+}
+
+// precheck is the advisory pre-admission gate: it mirrors the ownership and
+// key-range checks the publish body performs authoritatively under locks,
+// but runs before admitService so rejected work never consumes capacity.
+func (b *Broker) precheck(topicName string, keys ...string) error {
+	b.mu.RLock()
+	ts, err := b.topicLocked(topicName)
+	if err == nil {
+		for _, k := range keys {
+			if err = ts.checkRange(k); err != nil {
+				break
+			}
+		}
+	}
+	b.mu.RUnlock()
+	return err
+}
+
+// narrowRange shrinks the accepted key range of a loaded topic in place
+// (split step 3). A broker that does not hold the topic ignores the call —
+// whoever loads it next reads the narrowed range from metadata.
+func (b *Broker) narrowRange(topicName string, lo, hi uint64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, ok := b.topics[topicName]
+	if !ok {
+		return
+	}
+	ts.mu.Lock()
+	atomic.StoreUint64(&ts.keyLo, lo)
+	atomic.StoreUint64(&ts.keyHi, hi)
+	ts.mu.Unlock()
+}
+
+// dropTopic releases a topic's in-memory state for a graceful handoff:
+// cursors are persisted (belt and braces — every ack already persists) and
+// the writer closed so the ledger tail is sealed for the next owner's
+// recovery. Publishers in flight finish first (write lock); later arrivals
+// get ErrNoTopic and re-resolve ownership.
+func (b *Broker) dropTopic(topicName string) {
+	b.mu.Lock()
+	ts, ok := b.topics[topicName]
+	if ok {
+		delete(b.topics, topicName)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, sub := range ts.subs {
+		b.cluster.persistCursor(sub)
+	}
+	if ts.writer != nil {
+		ts.writer.Close()
+	}
+}
+
+// topicLoadSample is one owned topic's cumulative publish counters.
+type topicLoadSample struct {
+	Topic string
+	Msgs  int64
+	Bytes int64
+}
+
+// snapshotLoad samples every owned topic's publish counters, sorted by
+// topic name for deterministic load-manager decisions.
+func (b *Broker) snapshotLoad() (samples []topicLoadSample, down bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.down {
+		return nil, true
+	}
+	samples = make([]topicLoadSample, 0, len(b.topics))
+	for name, ts := range b.topics {
+		samples = append(samples, topicLoadSample{
+			Topic: name,
+			Msgs:  atomic.LoadInt64(&ts.pubMsgs),
+			Bytes: atomic.LoadInt64(&ts.pubBytes),
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Topic < samples[j].Topic })
+	return samples, false
 }
 
 // subscribe creates the durable subscription if needed and attaches the
@@ -482,16 +677,30 @@ func (b *Broker) loadTopic(topicName string) error {
 	takeover := len(ids) > 0
 	recoverStart := c.clock.Now()
 	ts := &topicState{name: topicName, subs: map[string]*subscription{}}
+	if md, err := c.getTopicMeta(topicName); err == nil {
+		atomic.StoreUint64(&ts.keyLo, md.Lo)
+		atomic.StoreUint64(&ts.keyHi, md.Hi)
+	}
+	// Ledgers that recover empty are dropped from the topic's ledger list
+	// (and deleted): nothing references them, and without the prune every
+	// handoff would add one more ledger to recover on the next handoff,
+	// making repeated reassignment O(moves) instead of O(history).
+	kept := ids[:0]
 	for _, id := range ids {
 		r, err := c.ledgers.Recover(id)
 		if err != nil {
 			return err
 		}
-		ts.ranges = append(ts.ranges, ledgerRange{ID: id, StartSeq: ts.nextSeq})
 		entries, err := r.ReadAll()
 		if err != nil {
 			return err
 		}
+		if len(entries) == 0 {
+			_ = c.ledgers.DeleteLedger(id)
+			continue
+		}
+		kept = append(kept, id)
+		ts.ranges = append(ts.ranges, ledgerRange{ID: id, StartSeq: ts.nextSeq})
 		for _, e := range entries {
 			m, err := decodeMessage(e)
 			if err != nil {
@@ -508,7 +717,7 @@ func (b *Broker) loadTopic(topicName string) error {
 	}
 	ts.writer = w
 	ts.ranges = append(ts.ranges, ledgerRange{ID: w.ID(), StartSeq: ts.nextSeq})
-	if err := c.setTopicLedgers(topicName, append(ids, w.ID())); err != nil {
+	if err := c.setTopicLedgers(topicName, append(kept, w.ID())); err != nil {
 		return err
 	}
 

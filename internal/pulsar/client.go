@@ -2,7 +2,6 @@ package pulsar
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,10 +31,16 @@ type ProducerOptions struct {
 // messages per partition and commits each batch with one replicated ledger
 // round trip.
 type Producer struct {
-	c          *Cluster
-	topic      string
-	partitions int
-	rr         int64
+	c     *Cluster
+	topic string
+	rr    int64
+
+	// holder is the logical topic's shared routing handle: every route is a
+	// lock-free load of the current table, so a partition split is visible
+	// to existing producers on their next send — there is no per-producer
+	// partition count to go stale (brokers additionally fence stale routes
+	// with ErrRouteMoved; see sendKey's retry loop).
+	holder *routeHolder
 
 	maxBatch int
 	interval time.Duration
@@ -44,6 +49,13 @@ type Producer struct {
 	pending  map[string]*topicBatch // concrete topic → buffered batch
 	pendingN int
 	firstAt  time.Time // publish-clock time of the oldest buffered message
+	// batchRT pins one routing-table snapshot for the lifetime of the
+	// buffered batch set (refreshed whenever the buffer is empty). Without
+	// the pin, a split mid-buffer could spread one key across two batches
+	// whose flush order is unordered — a per-key order violation. With it,
+	// a stale batch is bounced whole by the broker's range fence and
+	// redistributed in message order (see publishBatchLocked).
+	batchRT *routeTable
 
 	// arena carves encoded-entry buffers (guarded by mu); free recycles
 	// drained topicBatch scratch structures across flushes. Together they
@@ -75,7 +87,7 @@ func (c *Cluster) CreateProducer(topic string) (*Producer, error) {
 
 // CreateProducerOpts opens a producer with explicit batching options.
 func (c *Cluster) CreateProducerOpts(topic string, opts ProducerOptions) (*Producer, error) {
-	parts, err := c.Partitions(topic)
+	h, err := c.routing(topic)
 	if err != nil {
 		return nil, err
 	}
@@ -86,12 +98,12 @@ func (c *Cluster) CreateProducerOpts(topic string, opts ProducerOptions) (*Produ
 		opts.FlushInterval = c.cfg.BatchFlushInterval
 	}
 	return &Producer{
-		c:          c,
-		topic:      topic,
-		partitions: parts,
-		maxBatch:   opts.MaxBatch,
-		interval:   opts.FlushInterval,
-		pending:    map[string]*topicBatch{},
+		c:        c,
+		topic:    topic,
+		holder:   h,
+		maxBatch: opts.MaxBatch,
+		interval: opts.FlushInterval,
+		pending:  map[string]*topicBatch{},
 	}, nil
 }
 
@@ -148,18 +160,19 @@ func (p *Producer) sendKey(key string, payload []byte, pctx obs.TraceCtx) (int64
 			return 0, err
 		}
 	}
-	t := p.route(key)
+	t := p.routeTo(p.holder.load(), key)
 	entry := p.arena.alloc(entrySize(key, t, len(payload)))
 	view := encodeEntryInto(entry, key, t, payload)
 	p.mu.Unlock()
 	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < 4; attempt++ {
 		if attempt > 0 {
 			// Re-encode into a fresh buffer: the failed attempt may have
 			// left the old one on a bookie, and a restamp would mutate a
-			// retained durable entry.
+			// retained durable entry. (On a route move the topic — encoded
+			// in the entry — changed too.)
 			p.mu.Lock()
-			fresh := p.arena.alloc(len(entry))
+			fresh := p.arena.alloc(entrySize(key, t, len(view)))
 			view = encodeEntryInto(fresh, key, t, view)
 			entry = fresh
 			p.mu.Unlock()
@@ -174,6 +187,13 @@ func (p *Producer) sendKey(key string, payload []byte, pctx obs.TraceCtx) (int64
 			return seq, nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrRouteMoved) {
+			// The partition split after we routed: ownership is fine, the
+			// route is stale. Re-route against the current table and
+			// republish to the child.
+			t = p.routeTo(p.holder.load(), key)
+			continue
+		}
 		// The owner may have died (or been deposed) between lookup and
 		// publish; drop the cached resolution and re-resolve.
 		p.c.invalidateOwner(t)
@@ -201,9 +221,14 @@ func (p *Producer) SendAsync(key string, payload []byte) error {
 // group ledger commit parents on the batch's first traced message, and each
 // delivery parents on its own message's tc.
 func (p *Producer) SendAsyncTrace(key string, payload []byte, tc obs.TraceCtx) error {
-	t := p.route(key)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Route against the batch's pinned table snapshot so a concurrent split
+	// never spreads one key across two unordered batches (see batchRT).
+	if p.pendingN == 0 || p.batchRT == nil {
+		p.batchRT = p.holder.load()
+	}
+	t := p.routeTo(p.batchRT, key)
 	tb := p.pending[t]
 	if tb == nil {
 		tb = p.takeBatchLocked()
@@ -279,8 +304,14 @@ func (p *Producer) flushLocked() error {
 }
 
 // publishBatchLocked commits one partition's batch, re-resolving ownership
-// on broker failover like the synchronous path. Called with p.mu held.
+// on broker failover like the synchronous path. A batch bounced whole by
+// the broker's key-range fence (the partition split while it was buffered)
+// is redistributed against fresh routing once. Called with p.mu held.
 func (p *Producer) publishBatchLocked(t string, tb *topicBatch) error {
+	return p.publishBatch(t, tb, true)
+}
+
+func (p *Producer) publishBatch(t string, tb *topicBatch, allowReroute bool) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
@@ -301,6 +332,12 @@ func (p *Producer) publishBatchLocked(t string, tb *topicBatch) error {
 			return nil
 		} else {
 			lastErr = err
+			if errors.Is(err, ErrRouteMoved) {
+				if !allowReroute {
+					return err
+				}
+				return p.redistributeLocked(tb)
+			}
 			p.c.invalidateOwner(t)
 			if !retryablePublishErr(err) {
 				return err
@@ -310,17 +347,55 @@ func (p *Producer) publishBatchLocked(t string, tb *topicBatch) error {
 	return lastErr
 }
 
-func (p *Producer) route(key string) string {
-	if p.partitions <= 0 {
+// redistributeLocked re-routes a fenced batch's messages against the
+// current table — in enqueue order, so per-key order is preserved (each key
+// maps to exactly one new partition) — and publishes the regrouped batches.
+// Called with p.mu held.
+func (p *Producer) redistributeLocked(tb *topicBatch) error {
+	tbl := p.holder.load()
+	groups := map[string]*topicBatch{}
+	var order []string
+	for i := range tb.entries {
+		key := tb.keys[i]
+		t2 := p.routeTo(tbl, key)
+		g := groups[t2]
+		if g == nil {
+			g = p.takeBatchLocked()
+			groups[t2] = g
+			order = append(order, t2)
+		}
+		// The topic name is encoded in the entry, so re-encode from the
+		// payload view into a fresh buffer for the new partition.
+		fresh := p.arena.alloc(entrySize(key, t2, len(tb.views[i])))
+		g.views = append(g.views, encodeEntryInto(fresh, key, t2, tb.views[i]))
+		g.entries = append(g.entries, fresh)
+		g.keys = append(g.keys, key)
+		g.traces = append(g.traces, tb.traces[i])
+	}
+	var firstErr error
+	for _, t2 := range order {
+		g := groups[t2]
+		// A second fence bounce would mean routing regressed mid-call;
+		// surface it rather than recurse.
+		if err := p.publishBatch(t2, g, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.recycleBatchLocked(g)
+	}
+	return firstErr
+}
+
+// routeTo picks the concrete topic for a key under the given table: plain
+// topics route to themselves, keys route by hash range, unkeyed messages
+// round-robin across every concrete partition.
+func (p *Producer) routeTo(tbl *routeTable, key string) string {
+	if len(tbl.parts) == 0 {
 		return p.topic
 	}
-	var idx int
 	if key != "" {
-		idx = int(fnv1a(key)) % p.partitions
-	} else {
-		idx = int(atomic.AddInt64(&p.rr, 1)-1) % p.partitions
+		return tbl.lookup(uint64(fnv1a(key)))
 	}
-	return fmt.Sprintf("%s-partition-%d", p.topic, idx)
+	return tbl.names[int(atomic.AddInt64(&p.rr, 1)-1)%len(tbl.names)]
 }
 
 // Consumer receives messages from a subscription. For partitioned topics it
@@ -339,12 +414,24 @@ type Consumer struct {
 	pos  InitialPosition
 	id   int64
 
-	inbox    *inbox
-	concrete []string
+	inbox *inbox
 
-	mu     sync.Mutex
-	epochs map[string]int64
-	closed bool
+	// holder tracks the logical topic's routing table; rtVersion is the
+	// last version whose partitions this consumer attached. A split bumps
+	// the version, and the next attach pass discovers the child partitions
+	// (appended to names in creation order — parents first, which is what
+	// keeps per-key delivery ordered across a split). Partitions beyond the
+	// initial initialN attach at Earliest regardless of the subscription's
+	// requested position: a child's stream starts at the split, and
+	// skipping its backlog would drop post-split messages.
+	holder   *routeHolder
+	initialN int
+
+	mu        sync.Mutex
+	concrete  []string
+	rtVersion int64
+	epochs    map[string]int64
+	closed    bool
 }
 
 // receivePoll is the consumer's inbox polling interval.
@@ -353,7 +440,7 @@ const receivePoll = time.Millisecond
 // Subscribe attaches a new consumer to (creating if needed) the named
 // durable subscription.
 func (c *Cluster) Subscribe(topic, subName string, mode SubMode, pos InitialPosition) (*Consumer, error) {
-	parts, err := c.Partitions(topic)
+	h, err := c.routing(topic)
 	if err != nil {
 		return nil, err
 	}
@@ -361,16 +448,20 @@ func (c *Cluster) Subscribe(topic, subName string, mode SubMode, pos InitialPosi
 	c.nextConsumer++
 	id := c.nextConsumer
 	c.mu.Unlock()
+	tbl := h.load()
 	cons := &Consumer{
-		c:        c,
-		name:     topic,
-		sub:      subName,
-		mode:     mode,
-		pos:      pos,
-		id:       id,
-		inbox:    newInbox(),
-		concrete: c.concreteTopics(topic, parts),
-		epochs:   map[string]int64{},
+		c:         c,
+		name:      topic,
+		sub:       subName,
+		mode:      mode,
+		pos:       pos,
+		id:        id,
+		inbox:     newInbox(),
+		holder:    h,
+		initialN:  len(tbl.names),
+		concrete:  append([]string(nil), tbl.names...),
+		rtVersion: tbl.version,
+		epochs:    map[string]int64{},
 	}
 	if err := cons.ensureAttached(); err != nil {
 		return nil, err
@@ -379,14 +470,23 @@ func (c *Cluster) Subscribe(topic, subName string, mode SubMode, pos InitialPosi
 }
 
 // ensureAttached (re-)subscribes on every partition whose ownership epoch
-// changed since the consumer last attached.
+// changed since the consumer last attached, first folding in any partitions
+// a split created since the last pass.
 func (cons *Consumer) ensureAttached() error {
 	cons.mu.Lock()
 	defer cons.mu.Unlock()
 	if cons.closed {
 		return ErrConsumerClosed
 	}
-	for _, t := range cons.concrete {
+	if tbl := cons.holder.load(); tbl.version != cons.rtVersion {
+		// names is append-only across splits, so new partitions are exactly
+		// the tail beyond what we already track.
+		if len(tbl.names) > len(cons.concrete) {
+			cons.concrete = append(cons.concrete, tbl.names[len(cons.concrete):]...)
+		}
+		cons.rtVersion = tbl.version
+	}
+	for i, t := range cons.concrete {
 		b, ep, err := cons.c.ensureOwner(t)
 		if err != nil {
 			return err
@@ -394,8 +494,12 @@ func (cons *Consumer) ensureAttached() error {
 		if cons.epochs[t] == ep {
 			continue
 		}
+		pos := cons.pos
+		if i >= cons.initialN {
+			pos = Earliest // split children: consume from their first message
+		}
 		reg := &consumerReg{id: cons.id, inbox: cons.inbox}
-		if err := b.subscribe(t, cons.sub, cons.mode, cons.pos, reg); err != nil {
+		if err := b.subscribe(t, cons.sub, cons.mode, pos, reg); err != nil {
 			// A stale ownership-cache hit surfaces here (the cached broker
 			// no longer owns t); invalidate so the next attach re-resolves.
 			cons.c.invalidateOwner(t)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/billing"
@@ -33,6 +34,13 @@ type ClusterConfig struct {
 	// BatchFlushInterval is the default staleness bound on buffered
 	// messages (see ProducerOptions.FlushInterval). Default 1ms.
 	BatchFlushInterval time.Duration
+	// ServiceTime models each broker as a FIFO server that spends this long
+	// per message (publishers queue on the broker's virtual-time capacity
+	// before the durable append). Zero — the default — disables the model:
+	// publishes cost only their real compute. Soaks set it so aggregate
+	// throughput is capacity-bound and broker scale-out is measurable on
+	// the virtual clock.
+	ServiceTime time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -83,6 +91,22 @@ type Cluster struct {
 	// stale entry can only produce an error, not a lost ack or a divergent
 	// ledger.
 	owners sync.Map // concrete topic → ownerEntry
+
+	// routes caches one stable routeHolder per logical topic; the holder's
+	// table pointer is swapped atomically on a split, so producer routing
+	// and consumer partition discovery are lock-free pointer loads with no
+	// name formatting on the hot path. partParent maps each ranged concrete
+	// partition back to its logical topic (load-manager split decisions).
+	routes     sync.Map // logical topic → *routeHolder
+	partParent sync.Map // concrete topic → logical topic
+
+	// splitMu serializes partition splits (metadata read-modify-write).
+	splitMu sync.Mutex
+
+	// handoffDelay (atomic ns) stretches the unowned window inside
+	// MoveTopic — a chaos hook so fault schedules can land inside a
+	// handoff. Zero (default) makes the handoff atomic in virtual time.
+	handoffDelay int64
 
 	// Pre-resolved observability handles; nil (no-ops) until SetObs. The
 	// registry itself is kept for per-subscription backlog gauges, which are
@@ -139,6 +163,7 @@ func (c *Cluster) AddBroker(id string) *Broker {
 		cluster: c,
 		session: c.meta.NewSession(0),
 		topics:  map[string]*topicState{},
+		svcNs:   int64(c.cfg.ServiceTime),
 	}
 	if _, ok := c.brokers[id]; !ok {
 		c.brokerOrder = append(c.brokerOrder, id)
@@ -164,27 +189,34 @@ func (c *Cluster) BrokerIDs() []string {
 }
 
 // CreateTopic declares a topic. partitions == 0 creates a plain topic;
-// partitions > 0 creates that many partition topics addressed as one.
+// partitions > 0 creates that many partition topics addressed as one, each
+// owning an equal contiguous slice of the key-hash space (so a hot
+// partition can later split its range; see SplitPartition).
 func (c *Cluster) CreateTopic(name string, partitions int) error {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return fmt.Errorf("%w: %q", ErrBadTopicName, name)
 	}
-	md, _ := json.Marshal(struct {
-		Partitions int `json:"partitions"`
-	}{partitions})
+	meta := topicMeta{Partitions: partitions}
+	if partitions > 0 {
+		meta.Ranges = equalRanges(name, partitions)
+		meta.NextPart = partitions
+	}
+	md, _ := json.Marshal(meta)
 	if err := c.meta.Create("/pulsar/topics/"+name, md, coord.Persistent, 0); err != nil {
 		if errors.Is(err, coord.ErrNodeExists) {
 			return fmt.Errorf("%w: %q", ErrTopicExists, name)
 		}
 		return err
 	}
-	for _, t := range c.concreteTopics(name, partitions) {
-		if t != name {
-			if err := c.meta.Create("/pulsar/topics/"+t, []byte(`{"partitions":0}`), coord.Persistent, 0); err != nil {
-				return err
-			}
+	if partitions <= 0 {
+		return c.meta.EnsurePath("/pulsar/subs/" + name)
+	}
+	for _, r := range meta.Ranges {
+		pmd, _ := json.Marshal(topicMeta{Lo: r.Lo, Hi: r.Hi})
+		if err := c.meta.Create("/pulsar/topics/"+r.Topic, pmd, coord.Persistent, 0); err != nil {
+			return err
 		}
-		if err := c.meta.EnsurePath("/pulsar/subs/" + t); err != nil {
+		if err := c.meta.EnsurePath("/pulsar/subs/" + r.Topic); err != nil {
 			return err
 		}
 	}
@@ -204,17 +236,6 @@ func (c *Cluster) Partitions(name string) (int, error) {
 		return 0, err
 	}
 	return md.Partitions, nil
-}
-
-func (c *Cluster) concreteTopics(name string, partitions int) []string {
-	if partitions <= 0 {
-		return []string{name}
-	}
-	out := make([]string, partitions)
-	for i := range out {
-		out[i] = fmt.Sprintf("%s-partition-%d", name, i)
-	}
-	return out
 }
 
 // ownerEntry is a cached ownership resolution.
@@ -298,6 +319,77 @@ func (c *Cluster) resolveOwner(topic string) (*Broker, int64, error) {
 		return cand, ep, nil
 	}
 	return nil, 0, fmt.Errorf("pulsar: ownership of %q could not be established", topic)
+}
+
+// SetHandoffDelay stretches the unowned window inside MoveTopic by d — a
+// chaos hook so seeded fault schedules can crash a broker mid-handoff.
+// Zero restores atomic (in virtual time) handoffs.
+func (c *Cluster) SetHandoffDelay(d time.Duration) {
+	atomic.StoreInt64(&c.handoffDelay, int64(d))
+}
+
+// MoveTopic gracefully hands a concrete topic's ownership to broker toID:
+// the current owner drops its in-memory state (persisting every
+// subscription cursor and closing its writer), the ownership lock
+// transfers, and the destination runs the same exact-cursor recovery as a
+// failover takeover — so a move loses no message and redelivers no acked
+// one. If the destination dies mid-handoff the topic is simply left
+// unowned; the next publish or attach elects a surviving broker through
+// resolveOwner, which replays the identical recovery path.
+func (c *Cluster) MoveTopic(topic, toID string) error {
+	to, ok := c.Broker(toID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoBroker, toID)
+	}
+	if to.Down() {
+		return fmt.Errorf("%w: %s", ErrBrokerDown, toID)
+	}
+	lockPath := "/pulsar/owners/" + topic
+	if data, held := c.meta.LockHolder(lockPath); held {
+		if string(data) == toID {
+			return nil // already there
+		}
+		if from, ok := c.Broker(string(data)); ok {
+			// dropTopic write-locks the broker, waiting out in-flight
+			// publishes; later arrivals get ErrNoTopic and re-resolve.
+			from.dropTopic(topic)
+		}
+		c.invalidateOwner(topic)
+		c.meta.Release(lockPath)
+	} else {
+		c.invalidateOwner(topic)
+	}
+	if d := time.Duration(atomic.LoadInt64(&c.handoffDelay)); d > 0 {
+		c.clock.Sleep(d) // no locks held: the chaos window
+	}
+	if to.Down() {
+		return fmt.Errorf("%w: %s died mid-handoff", ErrBrokerDown, toID)
+	}
+	return c.assignTopic(topic, to)
+}
+
+// assignTopic acquires ownership of topic for b and loads it. Losing the
+// acquire race is not an error: whoever won owns the topic.
+func (c *Cluster) assignTopic(topic string, b *Broker) error {
+	lockPath := "/pulsar/owners/" + topic
+	ok, err := c.meta.TryAcquire(lockPath, []byte(b.ID), b.session)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if err := b.loadTopic(topic); err != nil {
+		c.meta.Release(lockPath)
+		c.invalidateOwner(topic)
+		return err
+	}
+	c.mu.Lock()
+	c.epochs[topic]++
+	ep := c.epochs[topic]
+	c.mu.Unlock()
+	c.owners.Store(topic, ownerEntry{b: b, ep: ep})
+	return nil
 }
 
 // pickBroker hashes the topic onto the live brokers for stable assignment.
@@ -397,12 +489,12 @@ func (c *Cluster) meterPublish(n int) {
 // Backlog returns the unacked message count for a subscription on a plain
 // topic, or the sum across partitions for a partitioned topic.
 func (c *Cluster) Backlog(topic, subName string) (int64, error) {
-	parts, err := c.Partitions(topic)
+	h, err := c.routing(topic)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
-	for _, t := range c.concreteTopics(topic, parts) {
+	for _, t := range h.load().names {
 		b, _, err := c.ensureOwner(t)
 		if err != nil {
 			return 0, err

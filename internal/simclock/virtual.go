@@ -134,6 +134,14 @@ func (v *Virtual) Go(fn func()) {
 
 // BlockOn marks the calling tracked goroutine as blocked while fn runs.
 // fn must block only on events resolved by other tracked goroutines.
+//
+// Caveat: the caller may observe a LATER Now() than the instant its event
+// was resolved. Resolution is a plain memory operation the clock cannot
+// see, so if the resumed caller stays descheduled past the driver's settle
+// window (e.g. under GC assist pressure) the driver can advance to the
+// next deadline first. When an exact timestamp matters — wall-time
+// measurements especially — capture Now() in the resolving tracked
+// goroutine, not after BlockOn returns.
 func (v *Virtual) BlockOn(fn func()) {
 	v.mu.Lock()
 	v.blocked++

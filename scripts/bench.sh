@@ -26,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
-pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry|BenchmarkAdmission|BenchmarkAutoscaleTick|BenchmarkTracePropagation|BenchmarkLabeledCounter}"
+pattern="${BENCH_PATTERN:-BenchmarkPulsarPublish|BenchmarkInvokeWarm|BenchmarkJiffyPutGet|BenchmarkCountMinAdd|BenchmarkHLLAdd|BenchmarkOrchestratedChain|BenchmarkObsOverhead|BenchmarkBreakerFastFail|BenchmarkInvokeWithRetry|BenchmarkAdmission|BenchmarkAutoscaleTick|BenchmarkTracePropagation|BenchmarkLabeledCounter|BenchmarkPartitionReassign|BenchmarkMultiBrokerPublish}"
 benchtime="${BENCH_TIME:-200000x}"
 runs="${BENCH_RUNS:-5}"
 
