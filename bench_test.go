@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/autoscale"
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faas"
@@ -707,6 +708,30 @@ func BenchmarkMultiBrokerPublish(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := prods[i%topics].Send(payload); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConformExplore measures one full conformance exploration of a
+// reference workload (DESIGN.md §13): each iteration enumerates a small
+// schedule budget and runs every schedule on a fresh virtual-clock platform,
+// digesting the final state. This is a whole-simulation benchmark — run it
+// with a small fixed -benchtime (bench.sh uses CONFORM_BENCH_TIME=20x), not
+// the data-plane iteration counts.
+func BenchmarkConformExplore(b *testing.B) {
+	ref, err := conform.Reference("put-constant")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := conform.Options{MaxSchedules: 12, Parallelism: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := conform.Explore(ref.Workload, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Conformant {
+			b.Fatalf("put-constant diverged: %+v", rep.Witness)
 		}
 	}
 }

@@ -82,8 +82,14 @@ func main() {
 		slo         = flag.Bool("slo", false, "print the per-tenant SLO burn-rate report after the demo")
 		serve       = flag.String("serve", "", "after the demo, serve /metrics, /metrics.json, /trace, /slo and pprof on this address (e.g. :9090)")
 		seed        = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
+		conformRun  = flag.Bool("conform", false, "run the execution-semantics conformance explorer over the reference workloads and exit")
+		conformFull = flag.Bool("conform-full", false, "like -conform, but with the full schedule budget instead of the quick one")
 	)
 	flag.Parse()
+	if *conformRun || *conformFull {
+		runConformance(*conformFull)
+		return
+	}
 	if *list {
 		names := make([]string, 0, len(demos))
 		for n := range demos {

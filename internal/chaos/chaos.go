@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,7 +33,17 @@ const (
 	OpCrash   Op = "crash"
 	OpRestart Op = "restart"
 	OpSlow    Op = "slow" // add Latency to the target's operations (0 clears)
-	OpDrop    Op = "drop" // fail the target's next N operations
+	OpDrop    Op = "drop" // fail the target's next N operations (KindSub: swallow the next N acks)
+	// OpDuplicate forces duplicate delivery: every delivered-but-unacked
+	// message of the target subscription (KindSub, Target "topic/sub") is
+	// redelivered through the exact-cursor redelivery queue — the
+	// at-least-once delivery fault the conformance explorer probes.
+	OpDuplicate Op = "duplicate"
+	// OpCrashAfterEffect arms the named function's registered Crasher
+	// (KindFunction) to kill its next attempt after N effect boundaries
+	// (N == 0: at entry). The platform's retry then re-executes the partial
+	// attempt — the crash-mid-handler fault of the formal semantics.
+	OpCrashAfterEffect Op = "crash-after-effect"
 )
 
 // Kind is a fault target class.
@@ -42,6 +53,11 @@ const (
 	KindBookie Kind = "bookie"
 	KindBroker Kind = "broker"
 	KindJiffy  Kind = "jiffy"
+	// KindSub targets a pulsar subscription; Target is "topic/sub".
+	KindSub Kind = "sub"
+	// KindFunction targets a registered FaaS function's effect-boundary
+	// Crasher (see Injector.RegisterCrasher).
+	KindFunction Kind = "function"
 )
 
 // Event is one scheduled fault, At ticks after injection starts.
@@ -198,10 +214,22 @@ type Injector struct {
 	obsInjected *obs.Counter
 	obsMTTR     *obs.Histogram
 
-	mu     sync.Mutex
-	log    []string
-	downAt map[string]time.Time
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	log      []string
+	downAt   map[string]time.Time
+	crashers map[string]*Crasher // function name → effect-boundary crasher
+	wg       sync.WaitGroup
+}
+
+// RegisterCrasher attaches a function's effect-boundary Crasher so
+// OpCrashAfterEffect events with KindFunction and Target name can arm it.
+func (inj *Injector) RegisterCrasher(name string, c *Crasher) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.crashers == nil {
+		inj.crashers = map[string]*Crasher{}
+	}
+	inj.crashers[name] = c
 }
 
 // NewInjector wires an injector to the stack under test.
@@ -314,6 +342,39 @@ func (inj *Injector) dispatch(e Event) string {
 		case OpDrop:
 			b.DropNext(e.N)
 		}
+	case KindSub:
+		if inj.cluster == nil {
+			return "(no cluster)"
+		}
+		topic, sub, ok := strings.Cut(e.Target, "/")
+		if !ok {
+			return "(target must be topic/sub)"
+		}
+		switch e.Op {
+		case OpDuplicate:
+			n, err := inj.cluster.RedeliverUnacked(topic, sub)
+			if err != nil {
+				return fmt.Sprintf("(err %v)", err)
+			}
+			return fmt.Sprintf("redelivered=%d", n)
+		case OpDrop:
+			if err := inj.cluster.DropAcks(topic, sub, e.N); err != nil {
+				return fmt.Sprintf("(err %v)", err)
+			}
+		default:
+			return "(unsupported on sub)"
+		}
+	case KindFunction:
+		inj.mu.Lock()
+		cr := inj.crashers[e.Target]
+		inj.mu.Unlock()
+		if cr == nil {
+			return "(no crasher registered)"
+		}
+		if e.Op != OpCrashAfterEffect {
+			return "(unsupported on function)"
+		}
+		cr.Arm(e.N)
 	case KindJiffy:
 		if inj.mem == nil {
 			return "(no jiffy controller)"

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Schedules marshal to a stable, human-auditable JSON form so a divergence
+// witness (the exact fault schedule that broke a handler) can be saved in a
+// bug report and replayed byte-for-byte later — reproducibility by value, not
+// just by generator seed. Durations are encoded as Go duration strings
+// ("333µs", "1.5ms"): exact at nanosecond granularity in both directions.
+
+// eventJSON is Event's wire form.
+type eventJSON struct {
+	At      string `json:"at"`
+	Op      Op     `json:"op"`
+	Kind    Kind   `json:"kind"`
+	Target  string `json:"target,omitempty"`
+	Latency string `json:"latency,omitempty"`
+	N       int    `json:"n,omitempty"`
+}
+
+// MarshalJSON encodes the event with durations as duration strings.
+func (e Event) MarshalJSON() ([]byte, error) {
+	ej := eventJSON{
+		At:     e.At.String(),
+		Op:     e.Op,
+		Kind:   e.Kind,
+		Target: e.Target,
+		N:      e.N,
+	}
+	if e.Latency != 0 {
+		ej.Latency = e.Latency.String()
+	}
+	return json.Marshal(ej)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej eventJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	at, err := time.ParseDuration(ej.At)
+	if err != nil {
+		return fmt.Errorf("chaos: bad event time %q: %w", ej.At, err)
+	}
+	var lat time.Duration
+	if ej.Latency != "" {
+		if lat, err = time.ParseDuration(ej.Latency); err != nil {
+			return fmt.Errorf("chaos: bad event latency %q: %w", ej.Latency, err)
+		}
+	}
+	*e = Event{At: at, Op: ej.Op, Kind: ej.Kind, Target: ej.Target, Latency: lat, N: ej.N}
+	return nil
+}
+
+// MarshalJSON encodes the schedule as a JSON array of events.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal([]Event(s))
+}
+
+// UnmarshalJSON decodes a schedule encoded by MarshalJSON.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var evs []Event
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return err
+	}
+	*s = Schedule(evs)
+	return nil
+}

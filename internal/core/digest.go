@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// StateDigest canonically serializes the platform's user-visible durable and
+// ephemeral state — jiffy namespaces (KV + queue), kvdb tables (latest visible
+// rows), blob buckets (latest object bytes), and pulsar subscriptions (the
+// multiset of acked payloads per cursor) — and returns the text plus its
+// FNV-1a 64 hash. Two platforms are observationally equivalent on the state
+// axis exactly when their digests match.
+//
+// The read is pure: every snapshot below is lock-only, pays no modelled
+// latency and never touches the clock, so the explorer (internal/conform) can
+// digest mid-run or at quiescence without perturbing the execution it is
+// observing. Keys, paths, tables and topics are emitted sorted, so the text
+// is a canonical form, not merely a hashable one — a diff of two digests is a
+// human-readable statement of how the states diverge.
+func (p *Platform) StateDigest() (string, uint64) {
+	var b strings.Builder
+
+	if p.Jiffy != nil {
+		for _, path := range p.Jiffy.Paths() {
+			ns, err := p.Jiffy.Namespace(path)
+			if err != nil {
+				continue
+			}
+			kv := ns.SnapshotKV()
+			keys := make([]string, 0, len(kv))
+			for k := range kv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "jiffy %s\n", path)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  kv %q=%q\n", k, kv[k])
+			}
+			for i, e := range ns.SnapshotQueue() {
+				fmt.Fprintf(&b, "  q[%d]=%q\n", i, e)
+			}
+		}
+	}
+
+	if p.DB != nil {
+		for _, tbl := range p.DB.Tables() {
+			rows, err := p.DB.LatestRows(tbl)
+			if err != nil {
+				continue
+			}
+			pks := make([]string, 0, len(rows))
+			for pk := range rows {
+				pks = append(pks, pk)
+			}
+			sort.Strings(pks)
+			fmt.Fprintf(&b, "kvdb %s\n", tbl)
+			for _, pk := range pks {
+				row := rows[pk]
+				cols := make([]string, 0, len(row))
+				for c := range row {
+					cols = append(cols, c)
+				}
+				sort.Strings(cols)
+				fmt.Fprintf(&b, "  row %q", pk)
+				for _, c := range cols {
+					fmt.Fprintf(&b, " %q=%q", c, row[c])
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+
+	if p.Blob != nil {
+		for _, bkt := range p.Blob.Buckets() {
+			objs, err := p.Blob.SnapshotObjects(bkt)
+			if err != nil {
+				continue
+			}
+			keys := make([]string, 0, len(objs))
+			for k := range objs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "blob %s\n", bkt)
+			for _, k := range keys {
+				h := fnv.New64a()
+				h.Write(objs[k])
+				fmt.Fprintf(&b, "  obj %q len=%d fnv=%x\n", k, len(objs[k]), h.Sum64())
+			}
+		}
+	}
+
+	if p.Pulsar != nil {
+		topics, err := p.Pulsar.Topics()
+		if err == nil {
+			for _, topic := range topics {
+				subs, err := p.Pulsar.Subscriptions(topic)
+				if err != nil {
+					continue
+				}
+				for _, sub := range subs {
+					acked, err := p.Pulsar.AckedMessages(topic, sub)
+					if err != nil {
+						continue
+					}
+					// The acked payloads as a multiset: duplicates of the same
+					// payload must be visible (double-acking a republished
+					// message is a divergence), but per-payload counts — not
+					// seq identity — are the observable.
+					counts := map[string]int{}
+					for _, m := range acked {
+						h := fnv.New64a()
+						h.Write(m)
+						counts[fmt.Sprintf("%x", h.Sum64())]++
+					}
+					hashes := make([]string, 0, len(counts))
+					for h := range counts {
+						hashes = append(hashes, h)
+					}
+					sort.Strings(hashes)
+					fmt.Fprintf(&b, "pulsar %s/%s acked=%d\n", topic, sub, len(acked))
+					for _, h := range hashes {
+						fmt.Fprintf(&b, "  msg %s x%d\n", h, counts[h])
+					}
+				}
+			}
+		}
+	}
+
+	text := b.String()
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return text, h.Sum64()
+}

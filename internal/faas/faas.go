@@ -101,6 +101,19 @@ type Config struct {
 	// fleet) before failing with ErrColdStartTimeout. Zero keeps the legacy
 	// behaviour: a failed placement throttles immediately.
 	ColdStartBudget time.Duration
+	// DedupWindow arms per-function idempotency-key deduplication: an invoke
+	// carrying a key (InvokeIdem, InvokeWithRetryIdem) whose previous keyed
+	// invocation *succeeded* within the window is served the cached Result —
+	// no handler execution, no billing — with Result.Deduped set. This is the
+	// opt-in half of exactly-once-observable semantics over an at-least-once
+	// transport: the platform still retries, but a client that lost the reply
+	// and re-sends its key cannot double-execute the handler. Failed attempts
+	// are never cached (a retry after failure must re-execute), and the
+	// window is best-effort for *concurrent* duplicates: two in-flight
+	// invocations of the same key may both execute, as on real platforms
+	// whose dedup is a post-commit record, not a lock. Zero disables dedup;
+	// keys are then ignored.
+	DedupWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -219,6 +232,13 @@ type function struct {
 	brk      breaker    // armed when cfg.BreakerThreshold > 0
 	brkGauge *obs.Gauge // per-function breaker state; nil → no-op
 
+	// idem is the dedup-window cache (armed when cfg.DedupWindow > 0):
+	// idempotency key → cached successful Result and its expiry. Its own
+	// mutex, not fn.mu — a dedup hit must not contend with the instance-pool
+	// bookkeeping it exists to bypass.
+	idemMu sync.Mutex
+	idem   map[string]idemEntry
+
 	// Tenant/function-labeled handles and the tenant SLO accumulator,
 	// resolved once at Register (nil no-ops without observability) so the
 	// invoke path never touches a label map.
@@ -248,6 +268,56 @@ type function struct {
 	durNext  int // next write position
 	durCount int // number of valid entries (≤ len(durBuf))
 	timeline []ScalePoint
+}
+
+// idemEntry is one cached keyed result in a function's dedup window.
+type idemEntry struct {
+	res     Result
+	expires time.Time
+}
+
+// idemSweepAt bounds the dedup cache: once the map holds this many entries a
+// store first sweeps everything expired, so the cache is O(live window), not
+// O(history).
+const idemSweepAt = 1 << 12
+
+// dedupLookup returns the cached Result for an idempotency key if it is still
+// inside the window. Expired entries are deleted on the way.
+func (fn *function) dedupLookup(key string, now time.Time) (Result, bool) {
+	if key == "" || fn.cfg.DedupWindow <= 0 {
+		return Result{}, false
+	}
+	fn.idemMu.Lock()
+	defer fn.idemMu.Unlock()
+	e, ok := fn.idem[key]
+	if !ok {
+		return Result{}, false
+	}
+	if now.After(e.expires) {
+		delete(fn.idem, key)
+		return Result{}, false
+	}
+	return e.res, true
+}
+
+// dedupStore records a successful keyed invocation. Only successes are
+// cached: replaying a failure would hide exactly the retry that could fix it.
+func (fn *function) dedupStore(key string, res Result, now time.Time) {
+	if key == "" || fn.cfg.DedupWindow <= 0 {
+		return
+	}
+	fn.idemMu.Lock()
+	defer fn.idemMu.Unlock()
+	if fn.idem == nil {
+		fn.idem = map[string]idemEntry{}
+	} else if len(fn.idem) >= idemSweepAt {
+		for k, e := range fn.idem {
+			if now.After(e.expires) {
+				delete(fn.idem, k)
+			}
+		}
+	}
+	fn.idem[key] = idemEntry{res: res, expires: now.Add(fn.cfg.DedupWindow)}
 }
 
 // durationWindow is the per-function latency-window size. Every existing
@@ -575,31 +645,41 @@ type Result struct {
 	Attempt   int           // 1-based attempt that produced this result
 	RetryWait time.Duration // total backoff slept before this attempt
 	TraceID   int64         // causal trace covering this invocation (0 = untraced)
+	// Deduped marks a result served from the function's idempotency-key
+	// dedup window: the handler did not run and nothing was billed.
+	Deduped bool
 }
 
 // Invoke runs a function synchronously and returns its result. The calling
 // goroutine pays the start latency and execution time on the platform clock.
 func (p *Platform) Invoke(name string, payload []byte) (Result, error) {
-	return p.invoke(name, payload, 1, obs.TraceCtx{})
+	return p.invoke(name, payload, 1, obs.TraceCtx{}, "")
+}
+
+// InvokeIdem is Invoke carrying an idempotency key: on a function with a
+// DedupWindow, a key whose previous invocation succeeded inside the window is
+// answered from the cache (Result.Deduped) without executing or billing.
+func (p *Platform) InvokeIdem(name, idemKey string, payload []byte) (Result, error) {
+	return p.invoke(name, payload, 1, obs.TraceCtx{}, idemKey)
 }
 
 // InvokeTrace is Invoke with an inbound causal context: a zero tc roots a
 // new trace at this invocation; a valid tc (an orchestrate step, a consuming
 // function's handler span) attaches the invocation to the caller's trace.
 func (p *Platform) InvokeTrace(name string, payload []byte, tc obs.TraceCtx) (Result, error) {
-	return p.invoke(name, payload, 1, tc)
+	return p.invoke(name, payload, 1, tc, "")
 }
 
 // InvokeFor runs tenant's function name synchronously, resolving only within
 // that tenant's namespace: another tenant's function of the same name is
 // indistinguishable from an unregistered one.
 func (p *Platform) InvokeFor(tenant, name string, payload []byte) (Result, error) {
-	return p.invoke(qualifiedKey(tenant, name), payload, 1, obs.TraceCtx{})
+	return p.invoke(qualifiedKey(tenant, name), payload, 1, obs.TraceCtx{}, "")
 }
 
 // InvokeForTrace is InvokeFor with an inbound causal context.
 func (p *Platform) InvokeForTrace(tenant, name string, payload []byte, tc obs.TraceCtx) (Result, error) {
-	return p.invoke(qualifiedKey(tenant, name), payload, 1, tc)
+	return p.invoke(qualifiedKey(tenant, name), payload, 1, tc, "")
 }
 
 // InvokeAsyncFor is InvokeAsync resolved within tenant's namespace.
@@ -607,7 +687,7 @@ func (p *Platform) InvokeAsyncFor(tenant, name string, payload []byte, done func
 	p.InvokeAsync(qualifiedKey(tenant, name), payload, done)
 }
 
-func (p *Platform) invoke(name string, payload []byte, attempt int, parent obs.TraceCtx) (Result, error) {
+func (p *Platform) invoke(name string, payload []byte, attempt int, parent obs.TraceCtx, idemKey string) (Result, error) {
 	p.mu.RLock()
 	fn, err := p.lookupLocked(name)
 	adm := p.adm
@@ -626,6 +706,19 @@ func (p *Platform) invoke(name string, payload []byte, attempt int, parent obs.T
 	if len(payload) > fn.cfg.MaxPayload {
 		span.EndLabeled(fn.tenant, fn.name, true)
 		return Result{}, fmt.Errorf("%w: %d > %d bytes", ErrPayloadSize, len(payload), fn.cfg.MaxPayload)
+	}
+
+	// Dedup window: a key that already succeeded inside the window never
+	// reaches admission, the breaker, the pool or the meter — the cached
+	// reply *is* the invocation, which is what makes keyed retries
+	// billing-invisible.
+	if res, ok := fn.dedupLookup(idemKey, p.clock.Now()); ok {
+		res.RequestID = reqID
+		res.Attempt = attempt
+		res.Deduped = true
+		res.TraceID = span.TraceID()
+		span.EndLabeled(fn.tenant, fn.name, false)
+		return res, nil
 	}
 
 	// Tenant admission: the fair-share token bucket gates (and may queue or
@@ -816,6 +909,9 @@ func (p *Platform) invoke(name string, payload []byte, attempt int, parent obs.T
 		Attempt:   attempt,
 		TraceID:   span.TraceID(),
 	}
+	if err == nil {
+		fn.dedupStore(idemKey, res, end)
+	}
 	return res, err
 }
 
@@ -857,7 +953,7 @@ func (p *Platform) InvokeAsync(name string, payload []byte, done func(Result, er
 				waited += d
 				backoff *= 2
 			}
-			res, err = p.invoke(name, payload, attempt, root.Ctx())
+			res, err = p.invoke(name, payload, attempt, root.Ctx(), "")
 			res.Attempt = attempt
 			res.RetryWait = waited
 			if err == nil {

@@ -158,6 +158,16 @@ type RetryPolicy struct {
 	// jitter: the sleep lands in ((1-Jitter)·d, d]). Default 0.2; negative
 	// disables jitter entirely.
 	Jitter float64
+	// Decide, when non-nil, replaces the default retry predicate: after
+	// every attempt it receives the attempt number, its Result and error,
+	// and returns whether another attempt should run (MaxAttempts still
+	// bounds the loop). Unlike the default predicate it may return true
+	// after a *successful* attempt — modelling a client that lost the reply
+	// and re-invokes — which is what lets the conformance explorer
+	// (internal/conform) drive every attempt boundary as an explicit
+	// decision point. Non-retryable platform errors (unknown function,
+	// oversized payload, open breaker) still end the loop.
+	Decide func(attempt int, res Result, err error) bool
 }
 
 func (rp RetryPolicy) withDefaults() RetryPolicy {
@@ -214,6 +224,18 @@ func (p *Platform) jittered(d time.Duration, frac float64) time.Duration {
 // and RetryWait fields report the attempt that produced it and the total
 // backoff slept.
 func (p *Platform) InvokeWithRetry(name string, payload []byte, pol RetryPolicy) (Result, error) {
+	return p.invokeWithRetry(name, "", payload, pol)
+}
+
+// InvokeWithRetryIdem is InvokeWithRetry carrying an idempotency key: every
+// attempt presents idemKey, so on a function with a DedupWindow a retry of an
+// attempt that actually succeeded (a lost reply) is served from the dedup
+// cache instead of re-executing the handler.
+func (p *Platform) InvokeWithRetryIdem(name, idemKey string, payload []byte, pol RetryPolicy) (Result, error) {
+	return p.invokeWithRetry(name, idemKey, payload, pol)
+}
+
+func (p *Platform) invokeWithRetry(name, idemKey string, payload []byte, pol RetryPolicy) (Result, error) {
 	pol = pol.withDefaults()
 	// All attempts share one trace under a retry-wrapper root, mirroring
 	// InvokeAsync: a retried request reads as one causal story, not N.
@@ -229,9 +251,15 @@ func (p *Platform) InvokeWithRetry(name string, payload []byte, pol RetryPolicy)
 			wspan.End()
 			waited += d
 		}
-		res, err = p.invoke(name, payload, attempt, root.Ctx())
+		res, err = p.invoke(name, payload, attempt, root.Ctx(), idemKey)
 		res.Attempt = attempt
 		res.RetryWait = waited
+		if pol.Decide != nil {
+			if (err != nil && !retryable(err)) || !pol.Decide(attempt, res, err) {
+				break
+			}
+			continue
+		}
 		if err == nil || !retryable(err) {
 			break
 		}

@@ -1,0 +1,53 @@
+package jiffy
+
+import "sort"
+
+// Verification reads for the conformance explorer (internal/conform): pure
+// lock-only snapshots of namespace contents. Unlike the data-plane ops they
+// pay no modelled latency, charge no billing and allocate copies — the
+// explorer compares final states across interleavings, and the act of
+// observing must not move the clock.
+
+// Paths returns every live namespace path, sorted.
+func (c *Controller) Paths() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	paths := make([]string, 0, len(c.all))
+	for p := range c.all {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// SnapshotKV returns a copy of the namespace's entire KV content across all
+// its blocks (nil for a dead namespace).
+func (n *Namespace) SnapshotKV() map[string][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return nil
+	}
+	out := map[string][]byte{}
+	for _, b := range n.blocks {
+		for k, v := range b.kv {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+// SnapshotQueue returns a copy of the namespace's FIFO queue, front first
+// (nil for a dead namespace).
+func (n *Namespace) SnapshotQueue() [][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return nil
+	}
+	out := make([][]byte, 0, len(n.fifo))
+	for _, e := range n.fifo {
+		out = append(out, append([]byte(nil), e...))
+	}
+	return out
+}

@@ -52,6 +52,11 @@ type subscription struct {
 	nextDispatch int64           // next fresh seq to dispatch
 	consumers    []*consumerReg
 	rr           int // round-robin pointer for Shared
+	// dropAcks makes the next N acks vanish in flight: the consumer's Ack
+	// returns success but the cursor does not move, so the message is still
+	// unacked broker-side — the lost-ack fault behind duplicate delivery
+	// (see Cluster.DropAcks / RedeliverUnacked).
+	dropAcks int
 
 	// backlogGauge tracks this subscription's unacked message count. Resolved
 	// once at subscription creation; nil (no-op) when observability is off.
@@ -568,6 +573,13 @@ func (b *Broker) ack(topicName, subName string, seq int64) error {
 		return fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)
 	}
 	if seq < sub.ackedPrefix {
+		return nil
+	}
+	if sub.dropAcks > 0 {
+		// The ack is lost in flight: report success to the consumer, change
+		// nothing durable. The message stays pending and will be redelivered
+		// by RedeliverUnacked or a failover — at-least-once, made injectable.
+		sub.dropAcks--
 		return nil
 	}
 	delete(sub.pending, seq)

@@ -72,6 +72,14 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 	}
 	r := &Replicator{src: src, dst: dst}
 	r.wg.Add(1)
+	// mirrored tracks the highest source seq already published to the
+	// destination, per concrete source topic. A message can arrive twice —
+	// its ack was lost in flight or the source broker failed over before the
+	// cursor persisted — and republishing it would double it on the
+	// destination. Seqs are per-partition monotone and the replicator is the
+	// subscription's only consumer, so "seq ≤ high-water mark" is exactly
+	// "already replicated": re-ack it and move on.
+	mirrored := map[string]int64{}
 	src.clock.Go(func() {
 		defer r.wg.Done()
 		defer cons.Close()
@@ -79,6 +87,10 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 			m, ok := cons.TryReceive()
 			if !ok {
 				src.clock.Sleep(cfg.Poll)
+				continue
+			}
+			if hw, ok := mirrored[m.Topic]; ok && m.Seq <= hw {
+				_ = cons.Ack(m) // duplicate delivery of a mirrored message
 				continue
 			}
 			_, err := prod.SendKey(m.Key, m.Payload)
@@ -103,6 +115,9 @@ func StartReplicator(src, dst *Cluster, cfg ReplicatorConfig) (*Replicator, erro
 				src.obsGeoDropped.Inc()
 				_ = cons.Ack(m)
 				continue
+			}
+			if hw, ok := mirrored[m.Topic]; !ok || m.Seq > hw {
+				mirrored[m.Topic] = m.Seq
 			}
 			if err := cons.Ack(m); err == nil {
 				atomic.AddInt64(&r.replicated, 1)

@@ -1,0 +1,171 @@
+package pulsar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the duplicate-delivery injection surface the conformance
+// explorer (internal/conform) and the chaos plane drive. At-least-once
+// delivery means a consumer can see the same message twice whenever its ack
+// is lost in flight; these hooks make that fault schedulable and exact:
+// DropAcks swallows acks broker-side (the consumer believes it acked),
+// RedeliverUnacked then pushes every still-pending message back through the
+// same redelivery queue a consumer failover uses — no bespoke duplicate
+// path, the production exact-cursor machinery is what gets exercised.
+//
+// All three entry points address a concrete topic (a plain topic, or one
+// partition of a partitioned topic) and re-resolve ownership once on an
+// ownership-shaped failure, like Backlog does.
+
+// withOwner runs op against the broker owning the concrete topic, retrying
+// once through a fresh ownership resolution if the cached owner was stale.
+func (c *Cluster) withOwner(topic string, op func(b *Broker) error) error {
+	b, _, err := c.ensureOwner(topic)
+	if err != nil {
+		return err
+	}
+	if err := op(b); err != nil {
+		c.invalidateOwner(topic)
+		if b, _, err = c.ensureOwner(topic); err != nil {
+			return err
+		}
+		return op(b)
+	}
+	return nil
+}
+
+// DropAcks arms the subscription on a concrete topic to lose its next n acks
+// in flight: each affected Ack reports success to the consumer while the
+// broker-side cursor stays put, leaving the message delivered-but-unacked.
+func (c *Cluster) DropAcks(topic, subName string, n int) error {
+	return c.withOwner(topic, func(b *Broker) error {
+		return b.dropNextAcks(topic, subName, n)
+	})
+}
+
+// RedeliverUnacked requeues every delivered-but-unacked message of the
+// subscription on a concrete topic through the standard redelivery path and
+// dispatches immediately. It returns how many messages were redelivered.
+func (c *Cluster) RedeliverUnacked(topic, subName string) (int, error) {
+	var n int
+	err := c.withOwner(topic, func(b *Broker) error {
+		var err error
+		n, err = b.redeliverUnacked(topic, subName)
+		return err
+	})
+	return n, err
+}
+
+// AckedMessages returns copies of the payloads of every message the
+// subscription on a concrete topic has acked, in seq order. It is the
+// verification read behind the conformance explorer's "set of acked messages
+// per subscription" observable.
+func (c *Cluster) AckedMessages(topic, subName string) ([][]byte, error) {
+	var out [][]byte
+	err := c.withOwner(topic, func(b *Broker) error {
+		var err error
+		out, err = b.ackedMessages(topic, subName)
+		return err
+	})
+	return out, err
+}
+
+// Topics returns every topic node name — plain topics, partitioned parents
+// and concrete partitions — sorted.
+func (c *Cluster) Topics() ([]string, error) {
+	names, err := c.meta.Children("/pulsar/topics")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Subscriptions returns the durable subscription names on a concrete topic,
+// sorted (empty for topics with no subscriptions, including partitioned
+// parents, which never carry cursors themselves).
+func (c *Cluster) Subscriptions(topic string) ([]string, error) {
+	subs, err := c.topicSubscriptions(topic)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(subs))
+	for n := range subs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (b *Broker) subLocked(topicName, subName string) (*topicState, *subscription, error) {
+	ts, err := b.topicLocked(topicName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts.mu.Lock()
+	sub, ok := ts.subs[subName]
+	if !ok {
+		ts.mu.Unlock()
+		return nil, nil, fmt.Errorf("pulsar: unknown subscription %s/%s", topicName, subName)
+	}
+	return ts, sub, nil
+}
+
+func (b *Broker) dropNextAcks(topicName, subName string, n int) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, sub, err := b.subLocked(topicName, subName)
+	if err != nil {
+		return err
+	}
+	defer ts.mu.Unlock()
+	sub.dropAcks += n
+	return nil
+}
+
+func (b *Broker) redeliverUnacked(topicName, subName string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, sub, err := b.subLocked(topicName, subName)
+	if err != nil {
+		return 0, err
+	}
+	defer ts.mu.Unlock()
+	pending := make([]int64, 0, len(sub.pending))
+	for seq := range sub.pending {
+		pending = append(pending, seq)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, seq := range pending {
+		delete(sub.pending, seq)
+		sub.redeliver = append(sub.redeliver, seq)
+	}
+	b.dispatchLocked(ts, sub)
+	return len(pending), nil
+}
+
+func (b *Broker) ackedMessages(topicName, subName string) ([][]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ts, sub, err := b.subLocked(topicName, subName)
+	if err != nil {
+		return nil, err
+	}
+	defer ts.mu.Unlock()
+	seqs := make([]int64, 0, int(sub.ackedPrefix)+len(sub.acks))
+	for seq := int64(0); seq < sub.ackedPrefix; seq++ {
+		seqs = append(seqs, seq)
+	}
+	for seq := range sub.acks {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([][]byte, 0, len(seqs))
+	for _, seq := range seqs {
+		if seq < int64(len(ts.cache)) {
+			out = append(out, append([]byte(nil), ts.cache[seq].Payload...))
+		}
+	}
+	return out, nil
+}

@@ -38,9 +38,14 @@ commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
+conform_benchtime="${CONFORM_BENCH_TIME:-20x}"
 for ((r = 1; r <= runs; r++)); do
   echo "== run $r/$runs"
   go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee -a "$tmp"
+  # ConformExplore runs a whole exploration (baseline + schedule budget, one
+  # virtual-clock platform per schedule) per iteration — the fixed data-plane
+  # iteration count would take hours, so it gets its own small fixed count.
+  go test -run '^$' -bench '^BenchmarkConformExplore$' -benchmem -benchtime "$conform_benchtime" -short . | tee -a "$tmp"
 done
 
 {
