@@ -23,19 +23,19 @@ import (
 // heap allocations per request.
 func TestWarmInvokeZeroAllocs(t *testing.T) {
 	p := core.New(core.Options{})
-	if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		return in, nil
 	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 		t.Fatal(err)
 	}
 	// Past the tracer retention cap and every lazily-built ring.
 	for i := 0; i < 20000; i++ {
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	got := testing.AllocsPerRun(2000, func() {
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -88,18 +88,18 @@ func TestWarmInvokeTracedZeroAllocs(t *testing.T) {
 		KeepFraction:  0,
 		SlowThreshold: time.Hour,
 	})
-	if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		return in, nil
 	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20000; i++ {
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	got := testing.AllocsPerRun(2000, func() {
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -11,6 +11,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faas"
+	"repro/internal/gateway"
 	"repro/internal/jiffy"
 	"repro/internal/obs"
 	"repro/internal/orchestrate"
@@ -80,17 +82,46 @@ func BenchmarkE27Elastic(b *testing.B)          { benchExperiment(b, "E27") }
 // BenchmarkInvokeWarm measures warm synchronous invocation overhead.
 func BenchmarkInvokeWarm(b *testing.B) {
 	p := core.New(core.Options{})
-	if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		return in, nil
 	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Invoke("noop", nil); err != nil {
+	if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayInvoke measures the same warm invocation as
+// BenchmarkInvokeWarm, but end-to-end through the HTTP gateway: a live TCP
+// listener, bearer auth, request parsing, the clock-worker handoff, header
+// marshalling and the streamed response. The delta against InvokeWarm is
+// the full HTTP-path overhead. One op is one HTTP round trip, so this runs
+// at its own (smaller) fixed iteration count in bench.sh.
+func BenchmarkGatewayInvoke(b *testing.B) {
+	p := core.New(core.Options{})
+	gw := gateway.New(p, gateway.Config{Tokens: map[string]string{"bench-token": "bench"}})
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+	if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		return in, nil
+	}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
+		b.Fatal(err)
+	}
+	client := &gateway.Client{BaseURL: srv.URL, Token: "bench-token"}
+	if _, err := client.Invoke("noop", nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Invoke("noop", nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,20 +133,20 @@ func BenchmarkInvokeWarm(b *testing.B) {
 // plus the breaker check.
 func BenchmarkBreakerFastFail(b *testing.B) {
 	p := core.New(core.Options{})
-	if err := p.Register("flaky", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+	if err := p.FaaS.Register("flaky", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	}, faas.Config{WarmStart: 1, ColdStart: 1, BreakerThreshold: 3, BreakerCooldown: time.Hour}); err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		_, _ = p.Invoke("flaky", nil)
+		_, _ = p.FaaS.Invoke("flaky", nil)
 	}
 	if st, err := p.FaaS.BreakerState("flaky"); err != nil || st != "open" {
 		b.Fatalf("breaker = %q, %v; want open", st, err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Invoke("flaky", nil); !errors.Is(err, faas.ErrCircuitOpen) {
+		if _, err := p.FaaS.Invoke("flaky", nil); !errors.Is(err, faas.ErrCircuitOpen) {
 			b.Fatalf("want ErrCircuitOpen, got %v", err)
 		}
 	}
@@ -128,7 +159,7 @@ func BenchmarkInvokeWithRetry(b *testing.B) {
 	pol := faas.RetryPolicy{MaxAttempts: 3, Base: time.Nanosecond, Jitter: -1}
 	b.Run("first-try", func(b *testing.B) {
 		p := core.New(core.Options{})
-		if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return in, nil
 		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 			b.Fatal(err)
@@ -143,7 +174,7 @@ func BenchmarkInvokeWithRetry(b *testing.B) {
 	b.Run("one-retry", func(b *testing.B) {
 		p := core.New(core.Options{})
 		var calls int64
-		if err := p.Register("flip", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.FaaS.Register("flip", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			if atomic.AddInt64(&calls, 1)%2 == 1 {
 				return nil, errors.New("transient")
 			}
@@ -307,12 +338,12 @@ func BenchmarkInvokeWarmParallel(b *testing.B) {
 	names := make([]string, nFuncs)
 	for i := range names {
 		names[i] = fmt.Sprintf("noop%d", i)
-		if err := p.Register(names[i], "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.FaaS.Register(names[i], "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return in, nil
 		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour, MaxConcurrency: 1 << 20}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := p.Invoke(names[i], nil); err != nil {
+		if _, err := p.FaaS.Invoke(names[i], nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,7 +353,7 @@ func BenchmarkInvokeWarmParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		name := names[int(next.Add(1)-1)%nFuncs]
 		for pb.Next() {
-			if _, err := p.Invoke(name, nil); err != nil {
+			if _, err := p.FaaS.Invoke(name, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -551,7 +582,7 @@ func BenchmarkHLLAdd(b *testing.B) {
 func BenchmarkOrchestratedChain(b *testing.B) {
 	p := core.New(core.Options{})
 	for _, n := range []string{"a", "b", "c"} {
-		if err := p.Register(n, "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.FaaS.Register(n, "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return in, nil
 		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 			b.Fatal(err)
@@ -598,18 +629,18 @@ func BenchmarkTracePropagation(b *testing.B) {
 	b.Run("invoke-traced", func(b *testing.B) {
 		p := core.New(core.Options{})
 		p.Obs.Tracer().SetSampler(discard)
-		if err := p.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.FaaS.Register("noop", "bench", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return in, nil
 		}, faas.Config{WarmStart: 1, ColdStart: 1, KeepAlive: time.Hour}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := p.Invoke("noop", nil); err != nil {
+		if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := p.Invoke("noop", nil); err != nil {
+			if _, err := p.FaaS.Invoke("noop", nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -84,10 +84,23 @@ func main() {
 		seed        = flag.Int64("chaos", -1, "seed=N: run the demo under a seeded fault schedule (bookie/broker/jiffy crashes, stragglers, drops); -1 disables")
 		conformRun  = flag.Bool("conform", false, "run the execution-semantics conformance explorer over the reference workloads and exit")
 		conformFull = flag.Bool("conform-full", false, "like -conform, but with the full schedule budget instead of the quick one")
+		sebsRun     = flag.Bool("sebs", false, "run the SeBS-style end-to-end suite through the HTTP gateway and print the JSON report")
+		sebsReqs    = flag.Int("sebs-requests", 0, "with -sebs: requests per app (0 = default 40)")
+		sebsApps    = flag.String("sebs-apps", "", "with -sebs: comma-separated app subset (default all)")
+		gatewayAddr = flag.String("gateway", "", "serve the v1 REST API + telemetry on this address (real clock; e.g. :8080) until killed")
+		tokenSpec   = flag.String("tokens", "dev-token=dev", "with -gateway: comma-separated bearer token=tenant pairs")
 	)
 	flag.Parse()
 	if *conformRun || *conformFull {
 		runConformance(*conformFull)
+		return
+	}
+	if *sebsRun {
+		runSebs(*sebsReqs, *sebsApps)
+		return
+	}
+	if *gatewayAddr != "" {
+		runGateway(*gatewayAddr, *tokenSpec)
 		return
 	}
 	if *list {
@@ -126,7 +139,7 @@ func main() {
 	}
 	fmt.Println()
 	for _, tenant := range platform.Meter.Tenants() {
-		fmt.Print(platform.Invoice(tenant))
+		fmt.Print(platform.Tenant(tenant).Invoice())
 	}
 	fmt.Printf("simulated time: %v\n", platform.Elapsed())
 

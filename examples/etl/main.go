@@ -102,7 +102,7 @@ func main() {
 		}
 
 		for name, h := range map[string]faas.Handler{"extract": extract, "transform": transform, "load": load} {
-			if err := platform.Register(name, "acme", h, faas.Config{MemoryMB: 256}); err != nil {
+			if err := platform.Tenant("acme").Register(name, h, faas.Config{MemoryMB: 256}); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -91,5 +91,5 @@ func main() {
 	})
 
 	fmt.Println()
-	fmt.Print(platform.Invoice("graph"))
+	fmt.Print(platform.Tenant("graph").Invoice())
 }

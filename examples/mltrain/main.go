@@ -77,7 +77,7 @@ func main() {
 		fmt.Println("\n— inference serving (shared model cache) —")
 		for i := 0; i < 3; i++ {
 			req, _ := json.Marshal(mlserve.InferRequest{Features: train.X[i]})
-			res, err := platform.Invoke(fn, req)
+			res, err := platform.FaaS.Invoke(fn, req)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -91,5 +91,5 @@ func main() {
 	})
 
 	fmt.Println()
-	fmt.Print(platform.Invoice("mltrain"))
+	fmt.Print(platform.Tenant("mltrain").Invoice())
 }

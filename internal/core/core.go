@@ -205,31 +205,6 @@ var (
 	_ obs.Instrumentable = (*autoscale.Controller)(nil)
 )
 
-// Invoice prices a tenant's accumulated usage.
-//
-// Deprecated: use Tenant(name).Invoice(), which scopes billing access the
-// same way the rest of the tenant API is scoped.
-func (p *Platform) Invoice(tenant string) billing.Invoice {
-	return p.Meter.Invoice(tenant, p.Pricing)
-}
-
-// Register deploys a function (shorthand for FaaS.Register).
-//
-// Deprecated: use Tenant(tenant).Register(name, h, cfg). The stringly
-// two-name signature invites swapped arguments; the tenant handle carries
-// the tenant exactly once.
-func (p *Platform) Register(name, tenant string, h faas.Handler, cfg faas.Config) error {
-	return p.FaaS.Register(name, tenant, h, cfg)
-}
-
-// Invoke runs a function synchronously (shorthand for FaaS.Invoke).
-//
-// Deprecated: use Tenant(tenant).Invoke(name, payload), which also verifies
-// the function belongs to the invoking tenant.
-func (p *Platform) Invoke(name string, payload []byte) (faas.Result, error) {
-	return p.FaaS.Invoke(name, payload)
-}
-
 // EnableAutoscale builds, wires and starts the elastic control plane over
 // the platform's FaaS layer and whatever cluster is attached to it (attach
 // one first with FaaS.AttachCluster for machine-fleet elasticity). The

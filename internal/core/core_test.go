@@ -55,12 +55,12 @@ func TestEndToEndPipeline(t *testing.T) {
 			}
 			return nil, ns.Put("last", payload)
 		}
-		must(t, p.Register("process", "acme", handler, faas.Config{}))
+		must(t, p.Tenant("acme").Register("process", handler, faas.Config{}))
 
 		cons, err := p.Pulsar.Subscribe("uploaded", "audit", 0, 1) // Exclusive, Earliest
 		must(t, err)
 
-		res, err := p.Invoke("process", []byte("hello"))
+		res, err := p.Tenant("acme").Invoke("process", []byte("hello"))
 		must(t, err)
 		if !res.Cold {
 			t.Error("first invocation should be cold")
@@ -84,7 +84,7 @@ func TestEndToEndPipeline(t *testing.T) {
 			t.Errorf("jiffy state = %q", got)
 		}
 	})
-	inv := p.Invoice("acme")
+	inv := p.Tenant("acme").Invoice()
 	if inv.Total <= 0 {
 		t.Fatalf("invoice total = %v", inv.Total)
 	}
@@ -100,7 +100,7 @@ func TestOrchestratorWired(t *testing.T) {
 	p, v := NewVirtual(Options{})
 	defer v.Close()
 	v.Run(func() {
-		must(t, p.Register("double", "t", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("double", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return append(in, in...), nil
 		}, faas.Config{}))
 		out, err := p.Orchestrator.Execute(orchestrate.Chain(

@@ -27,7 +27,7 @@ func TestPatternPeriodicInvocation(t *testing.T) {
 	defer v.Close()
 	var runs int64
 	v.Run(func() {
-		must(t, p.Register("scan", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("scan", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 			atomic.AddInt64(&runs, 1)
 			ctx.Work(50 * time.Millisecond)
 			return nil, nil
@@ -52,7 +52,7 @@ func TestPatternEventDriven(t *testing.T) {
 	var processed int64
 	v.Run(func() {
 		must(t, p.Blob.CreateBucket("in", "t"))
-		must(t, p.Register("react", "t", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("react", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			atomic.AddInt64(&processed, 1)
 			return nil, nil
 		}, faas.Config{}))
@@ -76,7 +76,7 @@ func TestPatternDataTransformation(t *testing.T) {
 	v.Run(func() {
 		must(t, p.Blob.CreateBucket("out", "t"))
 		must(t, p.Queue.CreateQueue("jobs", "t", queue.DefaultConfig()))
-		must(t, p.Register("transform", "t", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("transform", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			upper := []byte(fmt.Sprintf("transformed:%s", payload))
 			_, err := p.Blob.Put("out", string(payload), upper, blob.PutOptions{})
 			return nil, err
@@ -132,13 +132,13 @@ func TestPatternStateMachine(t *testing.T) {
 	p, v := NewVirtual(Options{})
 	defer v.Close()
 	v.Run(func() {
-		must(t, p.Register("classify", "t", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("classify", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return in, nil
 		}, faas.Config{}))
-		must(t, p.Register("small", "t", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("small", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return []byte("small:" + string(in)), nil
 		}, faas.Config{}))
-		must(t, p.Register("large", "t", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("large", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			return []byte("large:" + string(in)), nil
 		}, faas.Config{}))
 		sm := orchestrate.Chain(
@@ -174,7 +174,7 @@ func TestPatternBundled(t *testing.T) {
 		must(t, err)
 
 		// Worker: queue-driven, publishes results to the topic.
-		must(t, p.Register("worker", "t", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("worker", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
 			ctx.Work(10 * time.Millisecond)
 			_, err := prod.Send(payload)
 			return nil, err
@@ -193,7 +193,7 @@ func TestPatternBundled(t *testing.T) {
 		must(t, err)
 
 		// Periodic tick: every minute, enqueue a batch of work.
-		must(t, p.Register("tick", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+		must(t, p.Tenant("t").Register("tick", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 			for i := 0; i < 3; i++ {
 				if _, err := p.Queue.Send("work", []byte(fmt.Sprintf("job-%d", i))); err != nil {
 					return nil, err

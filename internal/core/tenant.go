@@ -53,6 +53,23 @@ func (t *TenantHandle) InvokeAsync(name string, payload []byte, done func(faas.R
 	t.p.FaaS.InvokeAsyncFor(t.name, name, payload, done)
 }
 
+// Unregister removes one of this tenant's functions. Like Invoke, the name
+// resolves only within this tenant's namespace: another tenant's same-named
+// function is untouched, and the failure is ErrNoFunction either way.
+func (t *TenantHandle) Unregister(name string) error {
+	return t.p.FaaS.UnregisterFor(t.name, name)
+}
+
+// Functions lists this tenant's registered functions, sorted by name.
+func (t *TenantHandle) Functions() []faas.FunctionInfo {
+	return t.p.FaaS.FunctionsFor(t.name)
+}
+
+// Stats snapshots one of this tenant's functions' counters.
+func (t *TenantHandle) Stats(name string) (faas.Stats, error) {
+	return t.p.FaaS.StatsFor(t.name, name)
+}
+
 // Invoice prices the tenant's accumulated usage.
 func (t *TenantHandle) Invoice() billing.Invoice {
 	return t.p.Meter.Invoice(t.name, t.p.Pricing)

@@ -79,27 +79,6 @@ func TestTenantHandle(t *testing.T) {
 	}
 }
 
-// TestDeprecatedRegisterStillWorks keeps the legacy stringly API alive for
-// existing callers.
-func TestDeprecatedRegisterStillWorks(t *testing.T) {
-	p, v := NewVirtual(Options{})
-	defer v.Close()
-	must(t, p.Register("old", "legacy", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
-		return in, nil
-	}, faas.Config{}))
-	v.Run(func() {
-		if _, err := p.Invoke("old", nil); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if owner, ok := p.FaaS.Owner("old"); !ok || owner != "legacy" {
-		t.Fatalf("owner = %q,%v", owner, ok)
-	}
-	if p.Invoice("legacy").Total <= 0 {
-		t.Fatal("legacy tenant not billed")
-	}
-}
-
 // TestTenantNamespacedFunctionNames: function names are a namespace per
 // tenant. Two tenants each own a "resize" without colliding — registration
 // neither fails nor reveals that the other tenant's name exists — and each
@@ -133,8 +112,8 @@ func TestTenantNamespacedFunctionNames(t *testing.T) {
 		if _, err := acme.Invoke("missing", nil); !errors.Is(err, faas.ErrNoFunction) {
 			t.Fatalf("missing = %v", err)
 		}
-		// The tenant-unscoped legacy lookup cannot pick a winner.
-		if _, err := p.Invoke("resize", nil); !errors.Is(err, faas.ErrAmbiguous) {
+		// The tenant-unscoped bare faas lookup cannot pick a winner.
+		if _, err := p.FaaS.Invoke("resize", nil); !errors.Is(err, faas.ErrAmbiguous) {
 			t.Fatalf("bare Invoke(resize) = %v, want ErrAmbiguous", err)
 		}
 	})

@@ -52,7 +52,7 @@ func E1CostEfficiency() Table {
 		}
 		var nInvocations int
 		v.Run(func() {
-			if err := p.Register("api", "acme", handler, faas.Config{MemoryMB: memoryMB}); err != nil {
+			if err := p.Tenant("acme").Register("api", handler, faas.Config{MemoryMB: memoryMB}); err != nil {
 				panic(err)
 			}
 			rep := faas.Drive(p.FaaS, "api", nil, arrivals)
@@ -61,7 +61,7 @@ func E1CostEfficiency() Table {
 		})
 		v.Close()
 
-		serverless := p.Invoice("acme").Total
+		serverless := p.Tenant("acme").Invoice().Total
 		reserved := billing.ReservedCost(billing.VMsForPeak(peakRPS, perVMRPS), window, p.Pricing)
 		savings := "-"
 		if serverless > 0 {
@@ -87,7 +87,7 @@ func E2Elasticity() Table {
 	arrivals := workload.Arrivals(rf, window, 2)
 
 	v.Run(func() {
-		if err := p.Register("app", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+		if err := p.Tenant("t").Register("app", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 			ctx.Work(500 * time.Millisecond)
 			return nil, nil
 		}, faas.Config{KeepAlive: time.Minute}); err != nil {
@@ -154,7 +154,7 @@ func E3ColdStart() Table {
 			arrivals[i] = time.Duration(i) * gap
 		}
 		v.Run(func() {
-			if err := p.Register("fn", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+			if err := p.Tenant("t").Register("fn", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 				ctx.Work(20 * time.Millisecond)
 				return nil, nil
 			}, faas.Config{KeepAlive: keepAlive, ColdStart: 250 * time.Millisecond, WarmStart: time.Millisecond}); err != nil {

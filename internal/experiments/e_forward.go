@@ -65,7 +65,7 @@ func E20SLA() Table {
 		p.FaaS.AttachCluster(cluster, 0.5)
 
 		reg := func(name string, demand scheduler.Resources) {
-			if err := p.Register(name, "acme", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+			if err := p.Tenant("acme").Register(name, func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 				ctx.Work(100 * time.Millisecond)
 				return nil, nil
 			}, faas.Config{Demand: demand, ColdStart: time.Millisecond, KeepAlive: time.Hour, MaxRetries: -1}); err != nil {
@@ -199,7 +199,7 @@ func E22Provisioned() Table {
 	}
 	for _, prewarm := range []int{0, 2} {
 		p, v := core.NewVirtual(core.Options{})
-		if err := p.Register("spiky", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+		if err := p.Tenant("t").Register("spiky", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 			ctx.Work(20 * time.Millisecond)
 			return nil, nil
 		}, faas.Config{Prewarm: prewarm, ColdStart: 400 * time.Millisecond, WarmStart: time.Millisecond}); err != nil {

@@ -29,7 +29,7 @@ func E24IsolationTech() Table {
 	for _, iso := range faas.Isolations() {
 		p, v := core.NewVirtual(core.Options{})
 		cfg := iso.Apply(faas.Config{MemoryMB: 128, WarmStart: time.Millisecond})
-		if err := p.Register("fn", "t", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
+		if err := p.Tenant("t").Register("fn", func(ctx *faas.Ctx, _ []byte) ([]byte, error) {
 			ctx.Work(20 * time.Millisecond)
 			return nil, nil
 		}, cfg); err != nil {

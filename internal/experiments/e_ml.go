@@ -169,7 +169,7 @@ func E17Inference() Table {
 			}
 			req := inferPayload(len(model))
 			for i := 0; i < 21; i++ {
-				res, err := p.Invoke(fn, req)
+				res, err := p.FaaS.Invoke(fn, req)
 				if err != nil {
 					panic(err)
 				}

@@ -23,7 +23,7 @@ func E7Orchestration() Table {
 		Columns: []string{"workflow", "tasks", "direct GB-s", "composed GB-s", "double-billed"},
 	}
 	reg := func(name string, work time.Duration) {
-		if err := p.Register(name, "acme", func(ctx *faas.Ctx, in []byte) ([]byte, error) {
+		if err := p.Tenant("acme").Register(name, func(ctx *faas.Ctx, in []byte) ([]byte, error) {
 			ctx.Work(work)
 			return in, nil
 		}, faas.Config{MemoryMB: 512, ColdStart: time.Millisecond, MaxRetries: -1}); err != nil {
@@ -62,7 +62,7 @@ func E7Orchestration() Table {
 		for _, c := range cases {
 			p.Meter.Reset()
 			for _, fn := range c.tasks {
-				if _, err := p.Invoke(fn, []byte("x")); err != nil {
+				if _, err := p.Tenant("acme").Invoke(fn, []byte("x")); err != nil {
 					panic(err)
 				}
 			}

@@ -682,6 +682,49 @@ func (p *Platform) InvokeForTrace(tenant, name string, payload []byte, tc obs.Tr
 	return p.invoke(qualifiedKey(tenant, name), payload, 1, tc, "")
 }
 
+// InvokeForTraceIdem is InvokeFor carrying both an inbound causal context and
+// an idempotency key — the full-surface entry point a front door (the HTTP
+// gateway) uses: one trace per external request, tenant-scoped resolution,
+// and keyed dedup when the caller re-sends a lost reply.
+func (p *Platform) InvokeForTraceIdem(tenant, name string, payload []byte, tc obs.TraceCtx, idemKey string) (Result, error) {
+	return p.invoke(qualifiedKey(tenant, name), payload, 1, tc, idemKey)
+}
+
+// UnregisterFor removes tenant's function name, resolving only within that
+// tenant's namespace: another tenant's same-named function is untouched and
+// unprobeable (ErrNoFunction either way).
+func (p *Platform) UnregisterFor(tenant, name string) error {
+	return p.Unregister(qualifiedKey(tenant, name))
+}
+
+// StatsFor is Stats resolved within tenant's namespace.
+func (p *Platform) StatsFor(tenant, name string) (Stats, error) {
+	return p.Stats(qualifiedKey(tenant, name))
+}
+
+// FunctionInfo summarizes one registered function for control-plane listings.
+type FunctionInfo struct {
+	Name   string
+	Tenant string
+	Config Config
+}
+
+// FunctionsFor lists tenant's registered functions, sorted by name. Only the
+// tenant's own namespace is visible — the listing can never leak another
+// tenant's deployments.
+func (p *Platform) FunctionsFor(tenant string) []FunctionInfo {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]FunctionInfo, 0, 4)
+	for _, fn := range p.functions {
+		if fn.tenant == tenant {
+			out = append(out, FunctionInfo{Name: fn.name, Tenant: fn.tenant, Config: fn.cfg})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // InvokeAsyncFor is InvokeAsync resolved within tenant's namespace.
 func (p *Platform) InvokeAsyncFor(tenant, name string, payload []byte, done func(Result, error)) {
 	p.InvokeAsync(qualifiedKey(tenant, name), payload, done)

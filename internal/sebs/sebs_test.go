@@ -1,0 +1,61 @@
+package sebs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSuiteShortRun drives every app through the HTTP gateway with a small
+// closed loop and checks the report invariants: all four apps present, no
+// errors, the forced cold-start pattern (request 0 plus one keep-alive gap
+// at request 5 → exactly 2 colds in 10), ordered percentiles, and a nonzero
+// bill.
+func TestSuiteShortRun(t *testing.T) {
+	rep, err := Run(Config{Requests: 10, ColdEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Apps) != 4 {
+		t.Fatalf("apps = %d, want 4", len(rep.Apps))
+	}
+	if rep.Transport != "http" || !rep.VirtualClock {
+		t.Fatalf("report meta = %+v", rep)
+	}
+	for _, a := range rep.Apps {
+		if a.Errors != 0 {
+			t.Errorf("%s: %d errors", a.App, a.Errors)
+		}
+		if a.ColdStarts != 2 {
+			t.Errorf("%s: cold_starts = %d, want 2 (request 0 + one forced gap)", a.App, a.ColdStarts)
+		}
+		if a.P50Ms <= 0 || a.P50Ms > a.P95Ms || a.P95Ms > a.P99Ms {
+			t.Errorf("%s: percentiles out of order: p50=%v p95=%v p99=%v", a.App, a.P50Ms, a.P95Ms, a.P99Ms)
+		}
+		if a.BilledCostUSD <= 0 || a.CostPer1kUSD <= 0 {
+			t.Errorf("%s: zero billed cost (%v / %v per 1k)", a.App, a.BilledCostUSD, a.CostPer1kUSD)
+		}
+	}
+}
+
+// TestSuiteDeterministic: two identical runs must serialize to identical
+// JSON — every figure comes from the virtual clock and the meter, never
+// from wall time.
+func TestSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite runs; skipped in -short mode")
+	}
+	cfg := Config{Requests: 8, ColdEvery: 4, Apps: []string{"webapp", "video"}}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Fatalf("reports differ:\n%s\n%s", j1, j2)
+	}
+}

@@ -39,6 +39,7 @@ commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 conform_benchtime="${CONFORM_BENCH_TIME:-20x}"
+gateway_benchtime="${GATEWAY_BENCH_TIME:-20000x}"
 for ((r = 1; r <= runs; r++)); do
   echo "== run $r/$runs"
   go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -short . | tee -a "$tmp"
@@ -46,6 +47,10 @@ for ((r = 1; r <= runs; r++)); do
   # virtual-clock platform per schedule) per iteration — the fixed data-plane
   # iteration count would take hours, so it gets its own small fixed count.
   go test -run '^$' -bench '^BenchmarkConformExplore$' -benchmem -benchtime "$conform_benchtime" -short . | tee -a "$tmp"
+  # GatewayInvoke is one full HTTP round trip per op (tens of µs): the
+  # data-plane iteration count would take minutes per run, so it too gets
+  # its own fixed count.
+  go test -run '^$' -bench '^BenchmarkGatewayInvoke$' -benchmem -benchtime "$gateway_benchtime" -short . | tee -a "$tmp"
 done
 
 {
